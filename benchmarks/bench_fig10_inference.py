@@ -1,0 +1,116 @@
+"""Figure 10: plan cost inference strategies under unknown environments.
+
+Compares, per project (paper Section 7.2.5):
+
+* **LOAM** — the representative average-case environment e_r (historical
+  machine-level means);
+* **LOAM-CE** — expected cluster-wide environment from a trailing window;
+* **LOAM-CB** — cluster-wide environment at optimization time;
+* **LOAM-NL** — no environment features at all (retrained);
+* **best-achievable** M_b — selects the minimum-expected-cost candidate.
+
+Two metrics: (a) E2E CPU cost of selections; (b) relative deviance from the
+oracle model (deviance / oracle expected cost).  Paper shape: LOAM beats
+the variants, LOAM-NL is consistently worst-or-equal, and the
+best-achievable model's relative deviance sits around ~10 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import PROJECT_NAMES, print_banner, train_loam
+from repro.core.deviance import DevianceEstimator
+from repro.core.explorer import PlanExplorer
+from repro.core.inference import (
+    ClusterCurrentEnvironment,
+    ClusterExpectedEnvironment,
+)
+from repro.evaluation.reporting import format_table
+
+STRATEGIES = ("loam", "loam-ce", "loam-cb", "loam-nl", "best-achievable")
+
+
+def test_fig10_cost_inference_strategies(benchmark, eval_projects, trained_loams, scale):
+    n_queries = max(6, scale.n_test_queries // 5)
+
+    def run():
+        e2e = {s: {} for s in STRATEGIES}
+        deviance = {s: {} for s in STRATEGIES}
+        for name in PROJECT_NAMES:
+            project = eval_projects[name]
+            loam = trained_loams[name]
+            loam_nl = train_loam(project, scale, use_environment=False)
+            cluster = project.workload.cluster
+            ce = ClusterExpectedEnvironment(cluster, n_samples=24, ticks_between=10)
+            cb = ClusterCurrentEnvironment(cluster)
+
+            explorer = PlanExplorer(project.workload.optimizer)
+            flighting = project.workload.flighting(seed_key="fig10")
+            estimator = DevianceEstimator(n_samples=scale.deviance_samples, n_grid=1024)
+
+            sums = {s: 0.0 for s in STRATEGIES}
+            devs = {s: [] for s in STRATEGIES}
+            for query in project.test_queries[:n_queries]:
+                plans = explorer.candidates(query, top_k=5)
+                samples = [flighting.sample_costs(p, estimator.n_samples) for p in plans]
+                report = estimator.report_from_samples(samples)
+                means = [s.mean() for s in samples]
+
+                selections = {
+                    "loam": int(
+                        np.argmin(
+                            loam.predictor.predict(
+                                plans, env_features=loam.environment.features()
+                            )
+                        )
+                    ),
+                    "loam-ce": int(
+                        np.argmin(
+                            loam.predictor.predict(plans, env_features=ce.features())
+                        )
+                    ),
+                    "loam-cb": int(
+                        np.argmin(
+                            loam.predictor.predict(plans, env_features=cb.features())
+                        )
+                    ),
+                    "loam-nl": int(np.argmin(loam_nl.predictor.predict(plans))),
+                    "best-achievable": report.best_achievable_index,
+                }
+                for strategy, idx in selections.items():
+                    sums[strategy] += means[idx]
+                    devs[strategy].append(report.relative_deviance_of(idx))
+            for strategy in STRATEGIES:
+                e2e[strategy][name] = sums[strategy] / n_queries
+                deviance[strategy][name] = float(np.mean(devs[strategy]))
+        return e2e, deviance
+
+    e2e, deviance = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_banner("Figure 10a - E2E CPU cost by inference strategy")
+    print(
+        format_table(
+            ["strategy", *PROJECT_NAMES],
+            [[s, *(f"{e2e[s][p]:,.0f}" for p in PROJECT_NAMES)] for s in STRATEGIES],
+        )
+    )
+    print_banner("Figure 10b - relative deviance from the oracle model")
+    print(
+        format_table(
+            ["strategy", *PROJECT_NAMES],
+            [[s, *(f"{deviance[s][p]:.1%}" for p in PROJECT_NAMES)] for s in STRATEGIES],
+        )
+    )
+
+    # Shape assertions.
+    mean_dev = {s: np.mean([deviance[s][p] for p in PROJECT_NAMES]) for s in STRATEGIES}
+    # The best-achievable model has the smallest relative deviance, and no
+    # learned strategy gets below it.
+    for s in ("loam", "loam-ce", "loam-cb", "loam-nl"):
+        assert mean_dev[s] >= mean_dev["best-achievable"] - 1e-6
+    # LOAM's representative environment beats dropping environments entirely.
+    assert mean_dev["loam"] <= mean_dev["loam-nl"] + 0.02
+    # Intrinsic gap: best-achievable deviance is materially nonzero
+    # (paper: ~10% of oracle cost).
+    assert 0.005 < mean_dev["best-achievable"] < 0.6

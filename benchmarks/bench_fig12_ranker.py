@@ -1,0 +1,103 @@
+"""Figure 12: Ranker vs a random ranking model.
+
+Cross-validates the learned project Ranker over a pool of projects (the
+paper uses 28, split 13 train / 15 test): Recall@(k,k) and NDCG@k of the
+produced project ranking against the closed-form expectations of a uniform
+random permutation (Appendix E.2).  Paper shape: Ranker consistently and
+substantially above Random at every k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import print_banner
+from repro.core.selector import (
+    ProjectRanker,
+    expected_random_ndcg,
+    expected_random_recall,
+    ndcg_at_k,
+    recall_at_k,
+)
+from repro.evaluation.reporting import format_series
+
+
+def _cross_validate(pool, n_splits=4, seed=0):
+    rng = np.random.default_rng(seed)
+    n = len(pool)
+    n_train = max(2, n // 2)
+    recalls: dict[int, list[float]] = {}
+    ndcgs: dict[int, list[float]] = {}
+    random_ndcgs: dict[int, list[float]] = {}
+    ks = list(range(1, min(6, n - n_train + 1)))
+    for _ in range(n_splits):
+        order = rng.permutation(n)
+        train = [pool[i] for i in order[:n_train]]
+        test = [pool[i] for i in order[n_train:]]
+        plans, catalogs, costs, spaces = [], [], [], []
+        for workload, measurements, _ in train:
+            for plan, cost, space in measurements:
+                plans.append(plan)
+                catalogs.append(workload.catalog)
+                costs.append(cost)
+                spaces.append(space)
+        ranker = ProjectRanker(n_estimators=80, max_depth=3, seed=1)
+        ranker.fit(plans, catalogs, costs, spaces)
+
+        scores, relevance = {}, {}
+        for workload, measurements, mean_space in test:
+            name = workload.profile.name
+            scores[name] = ranker.score_project(
+                [m[0] for m in measurements],
+                workload.catalog,
+                [m[1] for m in measurements],
+            )
+            relevance[name] = mean_space
+        ranking = ranker.rank_projects(scores)
+        for k in ks:
+            recalls.setdefault(k, []).append(recall_at_k(ranking, relevance, k=k, n=k))
+            ndcgs.setdefault(k, []).append(ndcg_at_k(ranking, relevance, k=k))
+            random_ndcgs.setdefault(k, []).append(expected_random_ndcg(relevance, k=k))
+    n_test = n - n_train
+    return ks, recalls, ndcgs, random_ndcgs, n_test
+
+
+def test_fig12_ranker_vs_random(benchmark, ranker_pool):
+    assert len(ranker_pool) >= 6, "ranker pool too small"
+
+    ks, recalls, ndcgs, random_ndcgs, n_test = benchmark.pedantic(
+        lambda: _cross_validate(ranker_pool), rounds=1, iterations=1
+    )
+
+    print_banner("Figure 12a - Recall@(k,k): Ranker vs Random")
+    print(
+        format_series(
+            "k",
+            ks,
+            {
+                "Ranker": [f"{np.mean(recalls[k]):.2f}" for k in ks],
+                "Random (expected)": [
+                    f"{expected_random_recall(k, n_test):.2f}" for k in ks
+                ],
+            },
+        )
+    )
+    print_banner("Figure 12b - NDCG@k: Ranker vs Random")
+    print(
+        format_series(
+            "k",
+            ks,
+            {
+                "Ranker": [f"{np.mean(ndcgs[k]):.2f}" for k in ks],
+                "Random (expected)": [f"{np.mean(random_ndcgs[k]):.2f}" for k in ks],
+            },
+        )
+    )
+
+    # Shape assertions: Ranker above Random on average over k.
+    ranker_recall = np.mean([np.mean(recalls[k]) for k in ks])
+    random_recall = np.mean([expected_random_recall(k, n_test) for k in ks])
+    assert ranker_recall > random_recall
+    ranker_ndcg = np.mean([np.mean(ndcgs[k]) for k in ks])
+    random_ndcg = np.mean([np.mean(random_ndcgs[k]) for k in ks])
+    assert ranker_ndcg > random_ndcg

@@ -1,0 +1,80 @@
+"""Figure 15: execution costs of a recurring plan follow a log-normal.
+
+Appendix E.1 validates the log-normal cost model with a histogram + fitted
+curve, a Q-Q plot, and a Kolmogorov-Smirnov test whose average p-value over
+recurring plans is ~0.6.  This bench prints the histogram series, Q-Q
+points, and the per-plan and average KS p-values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from conftest import print_banner
+from repro.core.deviance import fit_lognormal, kolmogorov_smirnov_pvalue
+from repro.evaluation.reporting import format_series, format_table
+
+
+def test_fig15_lognormal_costs(benchmark, eval_projects, scale):
+    workload = eval_projects["project2"].workload
+    flighting = workload.flighting(seed_key="fig15")
+    n_plans = 6
+    n_samples = max(40, 10 * scale.flighting_runs)
+
+    def run():
+        results = []
+        for i in range(n_plans):
+            query = workload.sample_query(0)
+            plan = workload.optimizer.optimize(query)
+            samples = flighting.sample_costs(plan, n_samples)
+            fitted = fit_lognormal(samples)
+            results.append((samples, fitted, kolmogorov_smirnov_pvalue(samples, fitted)))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    samples, fitted, _ = results[0]
+    print_banner("Figure 15a - cost histogram of one recurring plan vs fitted log-normal")
+    edges = np.quantile(samples, np.linspace(0, 1, 9))
+    hist, _ = np.histogram(samples, bins=edges, density=True)
+    centers = 0.5 * (edges[1:] + edges[:-1])
+    print(
+        format_series(
+            "bin center",
+            [f"{c:,.0f}" for c in centers],
+            {
+                "empirical density": [f"{h:.3g}" for h in hist],
+                "fitted log-normal": [f"{d:.3g}" for d in fitted.pdf(centers)],
+            },
+        )
+    )
+
+    print_banner("Figure 15b - Q-Q plot of log costs vs fitted normal")
+    quantiles = np.linspace(0.05, 0.95, 10)
+    empirical = np.quantile(np.log(samples), quantiles)
+    theoretical = fitted.mu + fitted.sigma * stats.norm.ppf(quantiles)
+    print(
+        format_series(
+            "quantile",
+            [f"{q:.2f}" for q in quantiles],
+            {
+                "empirical log-cost": [f"{e:.3f}" for e in empirical],
+                "theoretical": [f"{t:.3f}" for t in theoretical],
+            },
+        )
+    )
+
+    p_values = [p for _, _, p in results]
+    print_banner("KS test across recurring plans (paper: average p ~ 0.6)")
+    print(
+        format_table(
+            ["plan", "KS p-value"],
+            [[f"plan {i}", f"{p:.3f}"] for i, p in enumerate(p_values)]
+            + [["average", f"{np.mean(p_values):.3f}"]],
+        )
+    )
+
+    # Shape assertions: log-normality not rejected on average; Q-Q near line.
+    assert np.mean(p_values) > 0.05
+    assert np.corrcoef(empirical, theoretical)[0, 1] > 0.97

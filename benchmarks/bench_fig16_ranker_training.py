@@ -1,0 +1,80 @@
+"""Figure 16 (Appendix E.3): Ranker performance vs number of training projects.
+
+Paper shape: even with two training projects the Ranker beats Random, and
+both Recall@(k,k) and NDCG@k keep improving (with minor fluctuations) as
+more training projects become available — NDCG@1 rose from 0.55 to 0.7
+between 2 and 12 projects in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import print_banner
+from repro.core.selector import ProjectRanker, expected_random_ndcg, ndcg_at_k, recall_at_k
+from repro.evaluation.reporting import format_series
+
+
+def test_fig16_ranker_vs_training_projects(benchmark, ranker_pool):
+    n = len(ranker_pool)
+    n_test = max(3, n // 2)
+    max_train = n - n_test
+    train_sizes = sorted({max(2, max_train // 3), max(2, 2 * max_train // 3), max_train})
+
+    def run():
+        rng = np.random.default_rng(3)
+        k = min(3, n_test)
+        series_recall = {size: [] for size in train_sizes}
+        series_ndcg = {size: [] for size in train_sizes}
+        random_ndcg = []
+        for split in range(4):
+            order = rng.permutation(n)
+            test = [ranker_pool[i] for i in order[:n_test]]
+            train_all = [ranker_pool[i] for i in order[n_test:]]
+            relevance = {w.profile.name: s for w, _, s in test}
+            random_ndcg.append(expected_random_ndcg(relevance, k=k))
+            for size in train_sizes:
+                plans, catalogs, costs, spaces = [], [], [], []
+                for workload, measurements, _ in train_all[:size]:
+                    for plan, cost, space in measurements:
+                        plans.append(plan)
+                        catalogs.append(workload.catalog)
+                        costs.append(cost)
+                        spaces.append(space)
+                ranker = ProjectRanker(n_estimators=60, max_depth=3, seed=split)
+                ranker.fit(plans, catalogs, costs, spaces)
+                scores = {
+                    w.profile.name: ranker.score_project(
+                        [m[0] for m in ms], w.catalog, [m[1] for m in ms]
+                    )
+                    for w, ms, _ in test
+                }
+                ranking = ranker.rank_projects(scores)
+                series_recall[size].append(recall_at_k(ranking, relevance, k=k, n=k))
+                series_ndcg[size].append(ndcg_at_k(ranking, relevance, k=k))
+        return k, series_recall, series_ndcg, float(np.mean(random_ndcg))
+
+    k, series_recall, series_ndcg, random_ndcg = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    print_banner(f"Figure 16 - Ranker metrics (k={k}) vs number of training projects")
+    print(
+        format_series(
+            "training projects",
+            train_sizes,
+            {
+                f"Recall@({k},{k})": [
+                    f"{np.mean(series_recall[s]):.2f}" for s in train_sizes
+                ],
+                f"NDCG@{k}": [f"{np.mean(series_ndcg[s]):.2f}" for s in train_sizes],
+            },
+        )
+    )
+    print(f"Random expected NDCG@{k}: {random_ndcg:.2f}")
+
+    # Shape assertions: trained ranker beats random even at the smallest
+    # size, and the largest size is not worse than the smallest.
+    smallest, largest = train_sizes[0], train_sizes[-1]
+    assert np.mean(series_ndcg[smallest]) > random_ndcg - 0.05
+    assert np.mean(series_ndcg[largest]) >= np.mean(series_ndcg[smallest]) - 0.1

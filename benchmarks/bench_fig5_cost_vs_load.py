@@ -1,0 +1,64 @@
+"""Figure 5: CPU cost of a recurring query vs machine load metrics.
+
+The paper plots the CPU cost of a simple production query against CPU_IDLE
+and LOAD5 averaged across plan nodes, observing a discernible, roughly
+monotone, approximately linear influence — the justification for using the
+empirical-mean representative environment e_r at inference time (Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import print_banner
+from repro.evaluation.reporting import format_series
+from repro.warehouse.cluster import EnvironmentSample
+
+
+def _sweep(executor, plan, metric: str, values):
+    base = dict(cpu_idle=0.5, io_wait=0.05, load5=5.0, mem_usage=0.5)
+    costs = []
+    for value in values:
+        env = EnvironmentSample(**{**base, metric: value})
+        costs.append(executor.cost_under_environment(plan, env))
+    return costs
+
+
+def test_fig5_cost_vs_load(benchmark, eval_projects):
+    workload = eval_projects["project1"].workload
+    query = workload.sample_query(0)
+    plan = workload.optimizer.optimize(query)
+
+    sweeps = {
+        "cpu_idle": np.linspace(0.1, 0.9, 7),
+        "load5": np.linspace(0.5, 40.0, 7),
+        "mem_usage": np.linspace(0.1, 0.9, 7),
+    }
+
+    def run():
+        return {
+            metric: _sweep(workload.executor, plan, metric, values)
+            for metric, values in sweeps.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_banner("Figure 5 - CPU cost of a recurring query vs machine load")
+    for metric, values in sweeps.items():
+        costs = results[metric]
+        print()
+        print(
+            format_series(
+                metric.upper(),
+                [f"{v:.2f}" for v in values],
+                {"CPU cost": [f"{c:,.0f}" for c in costs]},
+            )
+        )
+
+    # Shape assertions: monotone in the documented direction.
+    assert all(a >= b for a, b in zip(results["cpu_idle"], results["cpu_idle"][1:]))
+    assert all(a <= b for a, b in zip(results["load5"], results["load5"][1:]))
+    assert all(a <= b for a, b in zip(results["mem_usage"], results["mem_usage"][1:]))
+    # Approximate linearity in CPU_IDLE: second differences vanish.
+    diffs = np.diff(results["cpu_idle"])
+    assert np.allclose(diffs, diffs[0], rtol=1e-6)

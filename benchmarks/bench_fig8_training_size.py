@@ -1,0 +1,73 @@
+"""Figure 8: LOAM performance vs training-data size.
+
+Paper shape: on the high-improvement-space projects, LOAM improves with
+more training data and eventually stabilizes; each project needs a
+project-specific minimum number of training queries before it matches the
+native optimizer (Project 1 only after ~6 k, Projects 2/5 at every size);
+the best-achievable line is never reached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import print_banner, train_loam
+from repro.evaluation.harness import evaluate_methods
+from repro.evaluation.reporting import format_series
+
+SWEEP_PROJECTS = ("project1", "project2", "project4")
+
+
+def test_fig8_training_data_size(benchmark, eval_projects, measured_candidates, scale):
+    fractions = (0.25, 0.5, 1.0)
+
+    def run():
+        series = {}
+        for name in SWEEP_PROJECTS:
+            project = eval_projects[name]
+            max_n = len(project.train_records)
+            improvements, sizes = [], []
+            for fraction in fractions:
+                n = max(30, int(max_n * fraction))
+                loam = train_loam(project, scale, max_training_queries=n)
+                results = evaluate_methods(
+                    project,
+                    {"loam": loam.predictor},
+                    env_features={"loam": loam.environment.features()},
+                    measured=measured_candidates[name],
+                )
+                improvements.append(
+                    results["loam"].improvement_over(results["native"])
+                )
+                sizes.append(n)
+            oracle = evaluate_methods(project, {}, measured=measured_candidates[name])
+            series[name] = (
+                sizes,
+                improvements,
+                oracle["oracle"].improvement_over(oracle["native"]),
+            )
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_banner("Figure 8 - LOAM improvement over native vs training-set size")
+    for name, (sizes, improvements, oracle) in series.items():
+        print()
+        print(
+            format_series(
+                "training queries",
+                sizes,
+                {"LOAM improvement": [f"{v:+.1%}" for v in improvements]},
+                title=f"{name} (best-achievable {oracle:+.1%})",
+            )
+        )
+
+    # Shape assertions.
+    for name, (sizes, improvements, oracle) in series.items():
+        # Nobody beats the best-achievable bound.
+        assert max(improvements) <= oracle + 0.05
+    # More data helps in aggregate on the high-space projects: the largest
+    # training set is at least as good as the smallest, on average.
+    smalls = [series[n][1][0] for n in ("project1", "project2")]
+    bigs = [series[n][1][-1] for n in ("project1", "project2")]
+    assert np.mean(bigs) >= np.mean(smalls) - 0.03

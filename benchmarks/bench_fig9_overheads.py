@@ -1,0 +1,90 @@
+"""Figure 9 (a/b/c) and Section 7.2.1 overheads.
+
+Paper shape: all learned optimizers train in well under an hour; model
+footprints are tens of MB at paper scale (XGBoost smallest); per-query
+inference takes a fraction of a second; plan generation is <0.1 s; the
+total optimization overhead is a sub-percent fraction of query execution
+time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import PROJECT_NAMES, print_banner
+from repro.core.explorer import PlanExplorer
+from repro.evaluation.reporting import format_table
+
+
+def test_fig9_overheads(benchmark, eval_projects, measured_candidates, trained_loams, trained_baselines):
+    method_order = ("loam", "transformer", "gcn", "xgboost")
+
+    def run():
+        train_time = {m: {} for m in method_order}
+        model_size = {m: {} for m in method_order}
+        infer_time = {m: {} for m in method_order}
+        for project in PROJECT_NAMES:
+            models = {"loam": trained_loams[project].predictor, **trained_baselines[project]}
+            sample = measured_candidates[project][: min(20, len(measured_candidates[project]))]
+            for method in method_order:
+                model = models[method]
+                train_time[method][project] = model.train_seconds
+                model_size[method][project] = model.size_bytes() / 1e6
+                times = []
+                for qc in sample:
+                    import time as _time
+
+                    start = _time.perf_counter()
+                    model.predict(qc.plans, env_features=(0.5, 0.05, 0.5, 0.5))
+                    times.append(_time.perf_counter() - start)
+                infer_time[method][project] = float(np.mean(times)) if times else 0.0
+        return train_time, model_size, infer_time
+
+    train_time, model_size, infer_time = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def table(data, fmt):
+        return format_table(
+            ["method", *PROJECT_NAMES],
+            [[m, *(fmt(data[m][p]) for p in PROJECT_NAMES)] for m in ("loam", "transformer", "gcn", "xgboost")],
+        )
+
+    print_banner("Figure 9a - training time (s)")
+    print(table(train_time, lambda v: f"{v:.1f}"))
+    print_banner("Figure 9b - model footprint (MB)")
+    print(table(model_size, lambda v: f"{v:.2f}"))
+    print_banner("Figure 9c - average inference time per query (s)")
+    print(table(infer_time, lambda v: f"{v:.4f}"))
+
+    # Section 7.2.1 extras: plan generation time and overhead fraction.
+    project = eval_projects["project1"]
+    explorer = PlanExplorer(project.workload.optimizer)
+    gen_times = []
+    for query in project.test_queries[:10]:
+        gen_times.append(explorer.explore(query, top_k=5).generation_seconds)
+    native_latency = float(
+        np.mean([r.latency for r in project.train_records[:100]])
+    )
+    overhead = float(np.mean(gen_times)) + infer_time["loam"]["project1"]
+    print_banner("Section 7.2.1 - optimization overhead")
+    print(f"plan generation: {np.mean(gen_times)*1e3:.1f} ms per query")
+    print(f"LOAM inference:  {infer_time['loam']['project1']*1e3:.1f} ms per query")
+    print(
+        f"total optimization overhead vs simulated query latency: "
+        f"{overhead / max(native_latency, 1e-9):.2%} (note: simulator latency units)"
+    )
+
+    # Shape assertions.
+    for project in PROJECT_NAMES:
+        # The GBDT trains much faster than the adversarially-trained LOAM
+        # model.  (The paper's XGBoost also beats Transformer/GCN by orders
+        # of magnitude, but that reflects libxgboost's C++ core; our
+        # from-scratch numpy GBDT is only same-order with the small neural
+        # baselines.)
+        assert train_time["xgboost"][project] < train_time["loam"][project]
+        # Everything trains in "well under an hour".
+        for method in ("loam", "transformer", "gcn", "xgboost"):
+            assert train_time[method][project] < 3600
+            assert model_size[method][project] < 200
+            assert infer_time[method][project] < 2.0
+    # Plan generation under 0.1 s, as the paper reports.
+    assert np.mean(gen_times) < 0.1

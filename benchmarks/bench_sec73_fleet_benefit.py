@@ -1,0 +1,93 @@
+"""Section 7.3 (and Section 6): fleet-wide benefit estimate.
+
+Paper numbers being reproduced in shape:
+
+* the rule-based Filter excludes 59.5 % of all projects (40.5 % pass);
+* among sampled passing projects, ~10 % see a >= 10 % CPU-cost reduction
+  from steering (Projects 1, 2, 5 of the 30 sampled);
+* therefore >= ~4 % of the whole fleet (0.405 x 0.10) can expect >= 10 %
+  gains — conservative, bounded by the current plan-exploration strategies.
+
+We measure the pass rate over a simulated heterogeneous fleet and, for a
+subsample of passing projects, the fraction whose *best-achievable*
+steering gain is >= 10 % (the paper's LOAM gain is bounded by this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import print_banner
+from repro.core.explorer import PlanExplorer
+from repro.core.selector import FilterConfig, ProjectFilter
+from repro.evaluation.reporting import format_table
+from repro.warehouse.workload import generate_project, profile_population
+
+
+def test_sec73_fleet_benefit_estimate(benchmark, scale):
+    def run():
+        fleet = [generate_project(p) for p in profile_population(scale.fleet_size, seed=31)]
+        for workload in fleet:
+            # Start mid-horizon so temporal tables are live (R3 has bite).
+            workload.simulate_history(3, start_day=12, max_queries_per_day=100)
+        # R1's absolute volume threshold is scaled to simulated volumes so
+        # the *relative* strictness matches the paper's regime.
+        project_filter = ProjectFilter(FilterConfig.scaled(volume_scale=0.02))
+        passing = []
+        for workload in fleet:
+            decision = project_filter.evaluate(
+                workload.repository.records, workload.catalog, horizon_day=40
+            )
+            if decision.passed:
+                passing.append(workload)
+        pass_rate = len(passing) / len(fleet)
+
+        # Best-achievable steering gain on a subsample of passing projects.
+        gains = []
+        for workload in passing[: max(6, len(passing) // 2)]:
+            explorer = PlanExplorer(workload.optimizer)
+            flighting = workload.flighting(seed_key="sec73")
+            native_total = oracle_total = 0.0
+            for _ in range(8):
+                query = workload.sample_query(14)
+                plans = explorer.candidates(query, top_k=5)
+                costs = [flighting.measure_cost(p, n_runs=2) for p in plans]
+                d = next(i for i, p in enumerate(plans) if p.is_default)
+                native_total += costs[d]
+                oracle_total += min(costs)
+            gains.append(1.0 - oracle_total / native_total)
+        high_gain_rate = float(np.mean([g >= 0.10 for g in gains]))
+        return pass_rate, gains, high_gain_rate
+
+    pass_rate, gains, high_gain_rate = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    fleet_estimate = pass_rate * high_gain_rate
+    print_banner("Section 7.3 - fleet-wide benefit estimate")
+    print(
+        format_table(
+            ["quantity", "measured", "paper"],
+            [
+                ["projects passing Filter (R1-R3)", f"{pass_rate:.1%}", "40.5%"],
+                [
+                    "sampled passing projects with >=10% steering gain",
+                    f"{high_gain_rate:.1%}",
+                    "~10%",
+                ],
+                [
+                    "fleet fraction expecting >=10% gain",
+                    f"{fleet_estimate:.1%}",
+                    ">=4%",
+                ],
+            ],
+        )
+    )
+    print(
+        "\nper-project best-achievable gains on the sampled passing projects: "
+        + ", ".join(f"{g:+.1%}" for g in sorted(gains, reverse=True))
+    )
+
+    # Shape assertions: the filter is selective but not degenerate, and a
+    # meaningful minority of passing projects has >=10% headroom.
+    assert 0.05 < pass_rate < 0.95
+    assert 0.0 < high_gain_rate <= 1.0
+    assert fleet_estimate > 0.01

@@ -1,0 +1,62 @@
+"""The one-stop loop at fleet scale: Filter -> Rank -> Train -> Validate -> Deploy.
+
+Runs one deployment round of the FleetManager over a small generated fleet,
+showing each project's fate and the validation-gated deployments, then the
+Ranker feedback loop growing its training pool.
+
+Run:  python examples/fleet_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro.core.deployment import DeploymentConfig, FleetManager
+from repro.core.loam import LOAMConfig
+from repro.core.predictor import PredictorConfig
+from repro.core.selector import FilterConfig
+from repro.evaluation.reporting import format_table
+from repro.warehouse.workload import generate_project, profile_population
+
+
+def main() -> None:
+    print("Generating an 8-project fleet with 4 days of history...")
+    fleet = [generate_project(p) for p in profile_population(8, seed=41)]
+    for workload in fleet:
+        workload.simulate_history(4, start_day=10, max_queries_per_day=60)
+
+    config = DeploymentConfig(
+        top_n=2,
+        min_validated_improvement=-0.05,  # tolerate small validation noise
+        validation_queries=6,
+        ranker_queries_per_project=4,
+        deviance_samples=5,
+        loam=LOAMConfig(
+            max_training_queries=250,
+            candidate_alignment_queries=20,
+            flighting_runs=2,
+            predictor=PredictorConfig(hidden_dims=(32, 24), embedding_dim=16, epochs=5),
+        ),
+        filter=FilterConfig(min_daily_queries=15.0),
+    )
+    manager = FleetManager(config)
+
+    print("Seeding the Ranker from the first two projects...")
+    n_examples = manager.seed_ranker(fleet[:2], sample_day=14)
+    print(f"  ranker pool: {n_examples} measured (plan, D(Md)) examples")
+
+    print("Running one deployment round over the fleet...\n")
+    report = manager.run_round(fleet, sample_day=14, horizon_day=45)
+
+    rows = [
+        [o.name, f"{o.ranker_score:.3f}" if not o.filtered_out else "-", o.status]
+        for o in report.outcomes
+    ]
+    print(format_table(["project", "ranker score", "status"], rows))
+    print(
+        f"\nfilter pass rate {report.pass_rate:.0%}; "
+        f"deployed: {', '.join(report.deployed_projects) or 'none'}; "
+        f"ranker pool grew to {len(manager._ranker_pool)} examples"
+    )
+
+
+if __name__ == "__main__":
+    main()

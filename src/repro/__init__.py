@@ -1,0 +1,21 @@
+"""repro: a reproduction of LOAM, the learned query optimizer for
+distributed multi-tenant data warehouses (Weng et al., SIGMOD Industrial).
+
+Top-level layout:
+
+* :mod:`repro.warehouse` — MiniDW, the simulated MaxCompute-like substrate
+  (catalog, native optimizer, cluster, executor, workload generation);
+* :mod:`repro.nn` — a numpy neural-network framework (autodiff, tree
+  convolution, transformer, GCN, GBDT, gradient reversal);
+* :mod:`repro.core` — LOAM itself (plan encoding, adaptive cost predictor,
+  plan explorer, cost inference, deviance theory, project selection);
+* :mod:`repro.evaluation` — the experiment harness reproducing the paper's
+  tables and figures.
+"""
+
+from repro.core import LOAM, LOAMConfig
+from repro.warehouse import ProjectProfile, generate_project
+
+__version__ = "1.0.0"
+
+__all__ = ["LOAM", "LOAMConfig", "ProjectProfile", "generate_project", "__version__"]

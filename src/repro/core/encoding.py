@@ -1,0 +1,196 @@
+"""Statistics-free plan vectorization (Section 4, Figure 4).
+
+Each plan-tree node becomes one fixed-width feature vector:
+
+====================  ====  =====================================================
+Block                 Dims  Contents
+====================  ====  =====================================================
+operator one-hot        13  one slot per operator type
+table-scan block      H+2   table-identifier hash encoding; log-min-max
+                            normalized numbers of partitions and columns
+join block            H+4   join-form one-hot; hash encoding of both join
+                            column identifiers (union)
+aggregation block     2H+5  aggregate-function one-hot; hash encodings of the
+                            aggregate column and the group-by columns
+filter block          H+9   multi-hot of predicate functions; hash encoding of
+                            all predicated column identifiers; numeric summary
+                            of the predicate parameters (mean/min rank
+                            fraction, predicate count) — the constants at the
+                            leaves of MaxCompute's predicate expression trees
+environment block        4  CPU_IDLE, IO_WAIT, LOAD5 (log-normalized),
+                            MEM_USAGE averaged at stage granularity
+====================  ====  =====================================================
+
+where ``H`` is the multi-segment hash width (default 5 segments × 8 = 40).
+No attribute histograms, NDVs, or cardinality estimates appear anywhere:
+the model must infer data-distribution detail from operator attributes and
+the repetition structure of historical queries (challenge C2).
+
+Predicates pushed into table scans are encoded in the scan node's filter
+block, so pushdown plans remain distinguishable from plans with explicit
+Filter operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hashenc import MultiSegmentHashEncoder
+from repro.utils import log_minmax_normalize
+from repro.warehouse.operators import (
+    AggregateNode,
+    CalcNode,
+    FilterNode,
+    JoinNode,
+    OPERATOR_TYPES,
+    PlanNode,
+    TableScanNode,
+)
+from repro.warehouse.plan import PhysicalPlan
+from repro.warehouse.query import AGG_FUNCS, JOIN_FORMS, PREDICATE_OPS
+
+__all__ = ["PlanEncoder", "EncodedPlan"]
+
+#: Feature-normalization bounds for scan attributes.
+_MAX_PARTITIONS = 4096.0
+_MAX_COLUMNS = 64.0
+
+#: Default environment features when a node was never executed (they are
+#: overwritten by the inference-time environment strategy).
+_NEUTRAL_ENV = (0.5, 0.05, 0.5, 0.5)
+
+
+@dataclass
+class EncodedPlan:
+    """Array form of one plan tree, ready for :class:`~repro.nn.tree_conv.TreeBatch`."""
+
+    features: np.ndarray  # (n_nodes, dim), no sentinel row
+    left: np.ndarray  # (n_nodes,) 1-based child rows, 0 = absent
+    right: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return self.features.shape[0]
+
+
+class PlanEncoder:
+    """Vectorizes physical plans for the cost predictor."""
+
+    def __init__(self, *, hash_segments: int = 5, hash_segment_dim: int = 8) -> None:
+        self.hasher = MultiSegmentHashEncoder(hash_segments, hash_segment_dim)
+        h = self.hasher.dim
+        self._op_offset = 0
+        self._scan_offset = len(OPERATOR_TYPES)
+        self._join_offset = self._scan_offset + h + 2
+        self._agg_offset = self._join_offset + len(JOIN_FORMS) + h
+        self._filter_offset = self._agg_offset + len(AGG_FUNCS) + 2 * h
+        self._env_offset = self._filter_offset + len(PREDICATE_OPS) + h + 3
+        self.dim = self._env_offset + 4
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def env_slice(self) -> slice:
+        """Feature positions holding the environment block."""
+        return slice(self._env_offset, self._env_offset + 4)
+
+    def encode_plan(
+        self,
+        plan: PhysicalPlan,
+        *,
+        env_override: tuple[float, float, float, float] | None = None,
+    ) -> EncodedPlan:
+        """Encode the plan tree into padded-batch-ready arrays.
+
+        ``env_override`` replaces every node's environment block (used at
+        inference time when the true environment is unobservable); without
+        it, each node's logged stage environment is used.
+        """
+        nodes = list(plan.iter_nodes())  # pre-order; index i -> row i+1
+        row_of = {id(node): i + 1 for i, node in enumerate(nodes)}
+        features = np.zeros((len(nodes), self.dim))
+        left = np.zeros(len(nodes), dtype=np.int64)
+        right = np.zeros(len(nodes), dtype=np.int64)
+        for i, node in enumerate(nodes):
+            features[i] = self._encode_node(node, env_override)
+            if node.children:
+                left[i] = row_of[id(node.children[0])]
+            if len(node.children) > 1:
+                right[i] = row_of[id(node.children[1])]
+        return EncodedPlan(features=features, left=left, right=right)
+
+    def encode_plans(
+        self,
+        plans: list[PhysicalPlan],
+        *,
+        env_override: tuple[float, float, float, float] | None = None,
+    ) -> list[EncodedPlan]:
+        return [self.encode_plan(p, env_override=env_override) for p in plans]
+
+    # -- node encoding -----------------------------------------------------------
+
+    def _encode_node(
+        self,
+        node: PlanNode,
+        env_override: tuple[float, float, float, float] | None,
+    ) -> np.ndarray:
+        out = np.zeros(self.dim)
+        out[self._op_offset + OPERATOR_TYPES.index(node.op_type)] = 1.0
+
+        if isinstance(node, TableScanNode):
+            h = self.hasher.dim
+            out[self._scan_offset : self._scan_offset + h] = self.hasher.encode(node.table)
+            out[self._scan_offset + h] = log_minmax_normalize(
+                node.n_partitions, 1.0, _MAX_PARTITIONS
+            )
+            out[self._scan_offset + h + 1] = log_minmax_normalize(
+                node.n_columns, 1.0, _MAX_COLUMNS
+            )
+            if node.predicates:
+                self._encode_predicates(out, node.predicates)
+
+        elif isinstance(node, JoinNode):
+            out[self._join_offset + JOIN_FORMS.index(node.form)] = 1.0
+            start = self._join_offset + len(JOIN_FORMS)
+            out[start : start + self.hasher.dim] = self.hasher.encode_many(
+                [node.left_key, node.right_key]
+            )
+
+        elif isinstance(node, AggregateNode):
+            out[self._agg_offset + AGG_FUNCS.index(node.func)] = 1.0
+            start = self._agg_offset + len(AGG_FUNCS)
+            h = self.hasher.dim
+            out[start : start + h] = self.hasher.encode(node.agg_column)
+            if node.group_by:
+                out[start + h : start + 2 * h] = self.hasher.encode_many(node.group_by)
+
+        elif isinstance(node, (FilterNode, CalcNode)):
+            self._encode_predicates(out, node.predicates)
+
+        env = env_override
+        if env is None:
+            env = node.env if node.env is not None else _NEUTRAL_ENV
+        out[self._env_offset : self._env_offset + 4] = env
+        return out
+
+    def _encode_predicates(self, out: np.ndarray, predicates) -> None:
+        if not predicates:
+            return
+        for predicate in predicates:
+            out[self._filter_offset + PREDICATE_OPS.index(predicate.op)] = 1.0
+        start = self._filter_offset + len(PREDICATE_OPS)
+        np.maximum(
+            out[start : start + self.hasher.dim],
+            self.hasher.encode_many(p.qualified_column for p in predicates),
+            out=out[start : start + self.hasher.dim],
+        )
+        # Predicate parameters: the constants at the leaves of MaxCompute's
+        # predicate expression trees.  Their rank-fraction form is already
+        # normalized to [0, 1]; the count is capped at 8 before normalizing.
+        values = [p.value for p in predicates]
+        stats_start = start + self.hasher.dim
+        out[stats_start] = float(np.mean(values))
+        out[stats_start + 1] = float(np.min(values))
+        out[stats_start + 2] = min(len(values), 8) / 8.0

@@ -1,0 +1,129 @@
+"""The steering plan explorer (Section 3).
+
+For each query the explorer asks the *native* optimizer for a set of diverse
+candidate plans: once per toggled optimizer flag (Bao-style) and once per
+cardinality-scaling factor for queries with at least three inputs
+(Lero-style).  The default (unsteered) plan is always included.  Structural
+duplicates are removed, and at evaluation time only the top-k candidates by
+the native optimizer's rough cost estimate are retained (Section 7.1 keeps
+the top 5).
+
+LOAM is agnostic to the exploration strategy: any callable producing
+(provenance, knobs) pairs can be plugged in.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.warehouse.flags import CARDINALITY_SCALES, OPTIMIZER_FLAGS, OptimizerFlags
+from repro.warehouse.optimizer import NativeOptimizer
+from repro.warehouse.plan import PhysicalPlan
+from repro.warehouse.query import Query
+
+__all__ = ["PlanExplorer", "ExplorationResult"]
+
+
+@dataclass
+class ExplorationResult:
+    """Candidate plans plus generation overhead (reported in Section 7.2.1)."""
+
+    plans: list[PhysicalPlan]
+    generation_seconds: float
+
+    @property
+    def default_plan(self) -> PhysicalPlan:
+        for plan in self.plans:
+            if plan.is_default:
+                return plan
+        raise LookupError("exploration result lost the default plan")
+
+
+class PlanExplorer:
+    """Generates diverse candidate plans by steering the native optimizer.
+
+    ``flag_pairs=True`` enables the diversified exploration the paper's
+    Section 7.3 points to as the lever for larger fleet-wide gains: in
+    addition to single-flag toggles, every pair of flags is tried.  The
+    candidate pool grows from ~9 to ~24 plans before deduplication, at
+    proportionally higher plan-generation cost.
+    """
+
+    def __init__(
+        self,
+        optimizer: NativeOptimizer,
+        *,
+        flags: tuple[str, ...] = OPTIMIZER_FLAGS,
+        cardinality_scales: tuple[float, ...] = CARDINALITY_SCALES,
+        min_tables_for_scaling: int = 3,
+        flag_pairs: bool = False,
+    ) -> None:
+        unknown = set(flags) - set(OPTIMIZER_FLAGS)
+        if unknown:
+            raise ValueError(f"unknown optimizer flags: {sorted(unknown)}")
+        self.optimizer = optimizer
+        self.flags = flags
+        self.cardinality_scales = cardinality_scales
+        self.min_tables_for_scaling = min_tables_for_scaling
+        self.flag_pairs = flag_pairs
+
+    def explore(self, query: Query, *, top_k: int | None = None) -> ExplorationResult:
+        """Produce deduplicated candidates; optionally prune to ``top_k``
+        (the default plan is never pruned)."""
+        started = time.perf_counter()
+        plans = [self.optimizer.optimize(query, provenance="default")]
+        for flag in self.flags:
+            plans.append(
+                self.optimizer.optimize(
+                    query,
+                    flags=OptimizerFlags().toggled(flag),
+                    provenance=f"flag:{flag}",
+                )
+            )
+        if self.flag_pairs:
+            for i, first in enumerate(self.flags):
+                for second in self.flags[i + 1 :]:
+                    plans.append(
+                        self.optimizer.optimize(
+                            query,
+                            flags=OptimizerFlags().toggled(first).toggled(second),
+                            provenance=f"flags:{first}+{second}",
+                        )
+                    )
+        if query.n_tables >= self.min_tables_for_scaling:
+            for scale in self.cardinality_scales:
+                plans.append(
+                    self.optimizer.optimize(
+                        query,
+                        cardinality_scale=scale,
+                        provenance=f"cardscale:{scale}",
+                    )
+                )
+        plans = self._deduplicate(plans)
+        if top_k is not None and len(plans) > top_k:
+            plans = self._prune(plans, top_k)
+        return ExplorationResult(plans=plans, generation_seconds=time.perf_counter() - started)
+
+    def candidates(self, query: Query, *, top_k: int | None = None) -> list[PhysicalPlan]:
+        return self.explore(query, top_k=top_k).plans
+
+    @staticmethod
+    def _deduplicate(plans: list[PhysicalPlan]) -> list[PhysicalPlan]:
+        seen: set = set()
+        unique = []
+        for plan in plans:
+            signature = plan.structural_signature()
+            if signature in seen:
+                continue
+            seen.add(signature)
+            unique.append(plan)
+        return unique
+
+    def _prune(self, plans: list[PhysicalPlan], top_k: int) -> list[PhysicalPlan]:
+        """Keep the default plan plus the (top_k - 1) candidates with the
+        lowest native rough cost estimates."""
+        default = [p for p in plans if p.is_default]
+        steered = [p for p in plans if not p.is_default]
+        steered.sort(key=self.optimizer.estimated_cost)
+        return default + steered[: max(0, top_k - len(default))]

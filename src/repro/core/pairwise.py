@@ -1,0 +1,170 @@
+"""Extension: a Lero-style pairwise plan comparator.
+
+The paper's related work (Lero, Zhu et al. 2023) frames plan selection as
+learning-to-rank: instead of predicting absolute costs, learn whether plan
+A is cheaper than plan B.  LOAM deliberately predicts absolute CPU cost,
+but a comparator is a natural extension of this codebase: it reuses the
+statistics-free encoding and the TCN embedding, trains on *pairs of
+historical default plans* ordered by measured cost (still requiring no
+candidate executions), and selects candidates by tournament scoring.
+
+The comparator head follows Lero's symmetric construction:
+``score(A, B) = sigmoid(w · (e_A - e_B))`` — the probability that A is the
+more expensive plan.  Antisymmetry (swap the pair, flip the probability) is
+exact by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.encoding import EncodedPlan, PlanEncoder
+from repro.nn.autodiff import Tensor, no_grad, sigmoid
+from repro.nn.layers import Linear, Module
+from repro.nn.optim import Adam
+from repro.nn.tree_conv import TreeBatch, TreeConvEncoder
+from repro.warehouse.plan import PhysicalPlan
+
+__all__ = ["PairwiseComparator"]
+
+
+class _ComparatorModule(Module):
+    def __init__(self, in_dim: int, hidden: tuple[int, ...], emb: int, rng) -> None:
+        self.encoder = TreeConvEncoder(in_dim, hidden_dims=hidden, embedding_dim=emb, rng=rng)
+        self.head = Linear(emb, 1, rng=rng)
+        # A bias would break the comparator's antisymmetry:
+        # sigmoid(w (e_A - e_B)) must flip exactly under a swap.
+        self.head.bias.requires_grad = False
+        self.head.bias.data[:] = 0.0
+
+    def embed(self, batch: TreeBatch) -> Tensor:
+        return self.encoder(batch)
+
+    def more_expensive_probability(self, emb_a: Tensor, emb_b: Tensor) -> Tensor:
+        return sigmoid(self.head(emb_a - emb_b).reshape(-1))
+
+
+class PairwiseComparator:
+    """Learning-to-rank plan comparator trained on historical defaults."""
+
+    def __init__(
+        self,
+        encoder: PlanEncoder | None = None,
+        *,
+        hidden_dims: tuple[int, ...] = (64, 64),
+        embedding_dim: int = 32,
+        epochs: int = 10,
+        pairs_per_epoch: int = 2048,
+        learning_rate: float = 0.003,
+        seed: int = 0,
+    ) -> None:
+        self.encoder = encoder or PlanEncoder()
+        self._rng = np.random.default_rng(seed)
+        self.module = _ComparatorModule(
+            self.encoder.dim, hidden_dims, embedding_dim, np.random.default_rng(seed)
+        )
+        self.epochs = epochs
+        self.pairs_per_epoch = pairs_per_epoch
+        self.learning_rate = learning_rate
+        self.trained = False
+
+    def fit(self, plans: list[PhysicalPlan], costs: list[float] | np.ndarray) -> None:
+        """Train on cost-ordered pairs sampled from executed default plans.
+
+        Pairs whose costs differ by less than 20 % are skipped: their order
+        is dominated by environment noise, not plan quality.
+        """
+        if len(plans) < 2:
+            raise ValueError("need at least two plans to form pairs")
+        costs = np.asarray(costs, dtype=np.float64)
+        encoded = self.encoder.encode_plans(plans)
+        optimizer = Adam(list(self.module.parameters()), lr=self.learning_rate)
+        n = len(plans)
+        for _ in range(self.epochs):
+            a_idx = self._rng.integers(0, n, size=self.pairs_per_epoch)
+            b_idx = self._rng.integers(0, n, size=self.pairs_per_epoch)
+            keep = np.abs(np.log((costs[a_idx] + 1.0) / (costs[b_idx] + 1.0))) > np.log(1.2)
+            a_idx, b_idx = a_idx[keep], b_idx[keep]
+            for start in range(0, len(a_idx), 64):
+                a_batch = a_idx[start : start + 64]
+                b_batch = b_idx[start : start + 64]
+                if len(a_batch) < 2:
+                    continue
+                emb_a = self.module.embed(_batch(encoded, a_batch))
+                emb_b = self.module.embed(_batch(encoded, b_batch))
+                prob = self.module.more_expensive_probability(emb_a, emb_b)
+                label = (costs[a_batch] > costs[b_batch]).astype(float)
+                label_t = Tensor(label)
+                eps = 1e-7
+                loss = -(
+                    label_t * (prob + eps).log()
+                    + (1.0 - label_t) * (1.0 - prob + eps).log()
+                ).mean()
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        self.trained = True
+        self.module.eval()
+
+    def pairwise_probability(self, plan_a: PhysicalPlan, plan_b: PhysicalPlan) -> float:
+        """P(plan_a is more expensive than plan_b)."""
+        self._require_trained()
+        encoded = self.encoder.encode_plans(
+            [plan_a, plan_b], env_override=(0.5, 0.05, 0.5, 0.5)
+        )
+        with no_grad():
+            emb = self.module.embed(_batch(encoded, np.array([0, 1])))
+            emb_a = emb[np.array([0])]
+            emb_b = emb[np.array([1])]
+            prob = self.module.more_expensive_probability(emb_a, emb_b)
+        return float(prob.data[0])
+
+    def select_best(
+        self,
+        plans: list[PhysicalPlan],
+        *,
+        env_features: tuple[float, float, float, float] | None = (0.5, 0.05, 0.5, 0.5),
+    ) -> tuple[PhysicalPlan, np.ndarray]:
+        """Round-robin tournament: lowest total 'more expensive' score wins.
+
+        The returned score array is comparable to predicted costs for the
+        purposes of argmin-based selection harnesses.
+        """
+        self._require_trained()
+        if not plans:
+            raise ValueError("no plans to select from")
+        encoded = self.encoder.encode_plans(plans, env_override=env_features)
+        with no_grad():
+            embeddings = self.module.embed(_batch(encoded, np.arange(len(plans))))
+            scores = np.zeros(len(plans))
+            for i in range(len(plans)):
+                for j in range(len(plans)):
+                    if i == j:
+                        continue
+                    prob = self.module.more_expensive_probability(
+                        embeddings[np.array([i])], embeddings[np.array([j])]
+                    )
+                    scores[i] += float(prob.data[0])
+        return plans[int(np.argmin(scores))], scores
+
+    def predict(
+        self,
+        plans: list[PhysicalPlan],
+        *,
+        env_features: tuple[float, float, float, float] | None = None,
+    ) -> np.ndarray:
+        """CostModel-protocol adapter: tournament scores as pseudo-costs."""
+        _, scores = self.select_best(
+            plans, env_features=env_features or (0.5, 0.05, 0.5, 0.5)
+        )
+        return scores
+
+    def _require_trained(self) -> None:
+        if not self.trained:
+            raise RuntimeError("PairwiseComparator used before fit()")
+
+
+def _batch(encoded: list[EncodedPlan], indices: np.ndarray) -> TreeBatch:
+    return TreeBatch.from_trees(
+        [(encoded[i].features, encoded[i].left, encoded[i].right) for i in indices]
+    )

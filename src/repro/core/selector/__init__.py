@@ -1,0 +1,22 @@
+"""Project selection: rule-based Filter plus learned Ranker (Section 6)."""
+
+from repro.core.selector.filter import FilterConfig, FilterDecision, ProjectFilter
+from repro.core.selector.metrics import (
+    expected_random_ndcg,
+    expected_random_recall,
+    ndcg_at_k,
+    recall_at_k,
+)
+from repro.core.selector.ranker import ProjectRanker, RankerPlanVectorizer
+
+__all__ = [
+    "FilterConfig",
+    "FilterDecision",
+    "ProjectFilter",
+    "ProjectRanker",
+    "RankerPlanVectorizer",
+    "expected_random_ndcg",
+    "expected_random_recall",
+    "ndcg_at_k",
+    "recall_at_k",
+]

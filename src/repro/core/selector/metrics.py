@@ -1,0 +1,80 @@
+"""Ranking metrics: Recall@(k,n) and NDCG@k with random-model expectations.
+
+Definitions follow Section 7.2.6 and Appendix E.2:
+
+* ``Recall@(k,n)`` — fraction of the n ground-truth projects (largest
+  improvement space) appearing in the ranker's top-k;
+* ``NDCG@k`` — DCG@k of the produced ranking over IDCG@k of the ideal one,
+  with gains ``2^rel - 1`` and relevance = improvement space;
+* the **Random** baseline expectations are closed-form:
+  ``E[Recall@(k,n)] = k/N`` and
+  ``E[NDCG@k] = (sum_i (2^{rel_i}-1)/N) * sum_{j<=k} 1/log2(j+1) / IDCG@k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "recall_at_k",
+    "ndcg_at_k",
+    "expected_random_recall",
+    "expected_random_ndcg",
+]
+
+
+def recall_at_k(ranking: list[str], relevance: dict[str, float], k: int, n: int) -> float:
+    """Fraction of the true top-``n`` projects found in ``ranking[:k]``."""
+    _validate(ranking, relevance, k)
+    if not 1 <= n <= len(ranking):
+        raise ValueError(f"n must be in [1, {len(ranking)}], got {n}")
+    truth = set(sorted(relevance, key=relevance.__getitem__, reverse=True)[:n])
+    hits = sum(1 for name in ranking[:k] if name in truth)
+    return hits / n
+
+
+def _dcg(gains: list[float]) -> float:
+    return float(
+        sum(gain / np.log2(position + 2.0) for position, gain in enumerate(gains))
+    )
+
+
+def ndcg_at_k(ranking: list[str], relevance: dict[str, float], k: int) -> float:
+    """NDCG@k with exponential gains 2^rel - 1."""
+    _validate(ranking, relevance, k)
+    gains = [2.0 ** relevance[name] - 1.0 for name in ranking[:k]]
+    ideal = sorted((2.0**rel - 1.0 for rel in relevance.values()), reverse=True)[:k]
+    idcg = _dcg(ideal)
+    if idcg <= 0.0:
+        return 1.0  # all-zero relevance: every ranking is ideal
+    return _dcg(gains) / idcg
+
+
+def expected_random_recall(k: int, n_projects: int) -> float:
+    """E[Recall@(k,n)] of a uniform random permutation = k / N
+    (independent of n; Appendix E.2)."""
+    if not 1 <= k <= n_projects:
+        raise ValueError(f"k must be in [1, {n_projects}], got {k}")
+    return k / n_projects
+
+
+def expected_random_ndcg(relevance: dict[str, float], k: int) -> float:
+    """E[NDCG@k] of a uniform random permutation (Appendix E.2)."""
+    n = len(relevance)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    gains = [2.0**rel - 1.0 for rel in relevance.values()]
+    mean_gain = float(np.mean(gains))
+    discount = float(sum(1.0 / np.log2(j + 2.0) for j in range(k)))
+    idcg = _dcg(sorted(gains, reverse=True)[:k])
+    if idcg <= 0.0:
+        return 1.0
+    return mean_gain * discount / idcg
+
+
+def _validate(ranking: list[str], relevance: dict[str, float], k: int) -> None:
+    if not 1 <= k <= len(ranking):
+        raise ValueError(f"k must be in [1, {len(ranking)}], got {k}")
+    missing = [name for name in ranking if name not in relevance]
+    if missing:
+        raise KeyError(f"ranking contains projects without relevance: {missing[:3]}")

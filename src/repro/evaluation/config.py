@@ -1,0 +1,85 @@
+"""Experiment scale configuration.
+
+The paper's protocol (30 days of history, up to 10 000 training queries per
+project, every candidate executed several times) takes hours on a laptop
+simulator.  ``REPRO_SCALE`` selects between:
+
+* ``smoke`` — seconds; CI-friendly sanity shapes;
+* ``small`` (default) — minutes; reproduces every qualitative shape;
+* ``paper`` — the full protocol sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "current_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    name: str
+    history_days: int  # total simulated days (paper: 30 = 25 train + 5 test)
+    train_days: int
+    max_training_queries: int
+    n_test_queries: int
+    predictor_epochs: int
+    flighting_runs: int
+    candidate_alignment_queries: int
+    deviance_samples: int  # executions per plan for distribution fitting
+    ranker_pool_size: int  # projects in the Ranker study (paper: 28)
+    fleet_size: int  # projects in the Section 7.3 fleet estimate
+
+
+_SCALES = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        history_days=6,
+        train_days=5,
+        max_training_queries=300,
+        n_test_queries=12,
+        predictor_epochs=5,
+        flighting_runs=2,
+        candidate_alignment_queries=25,
+        deviance_samples=6,
+        ranker_pool_size=8,
+        fleet_size=24,
+    ),
+    "small": ExperimentScale(
+        name="small",
+        history_days=18,
+        train_days=15,
+        max_training_queries=2000,
+        n_test_queries=60,
+        predictor_epochs=15,
+        flighting_runs=3,
+        candidate_alignment_queries=80,
+        deviance_samples=10,
+        ranker_pool_size=16,
+        fleet_size=60,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        history_days=30,
+        train_days=25,
+        max_training_queries=10_000,
+        n_test_queries=150,
+        predictor_epochs=25,
+        flighting_runs=3,
+        candidate_alignment_queries=200,
+        deviance_samples=12,
+        ranker_pool_size=28,
+        fleet_size=120,
+    ),
+}
+
+
+def current_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_SCALE", "small").lower()
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown REPRO_SCALE {name!r}; choose from {sorted(_SCALES)}"
+        ) from None

@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment outputs.
+
+Benchmarks print the same rows/series the paper's tables and figures report;
+these helpers keep the formatting consistent and diffable
+(EXPERIMENTS.md records paper-vs-measured from these outputs).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "format_number"]
+
+
+def format_number(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[format_number(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render figure-style series as one table: x column plus one column per
+    line in the figure."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *(values[i] for values in series.values())])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,72 @@
+"""Graph convolutional encoder over plan trees.
+
+Stands in for zero-shot GCN cost models (Hilprecht & Binnig, 2022), the
+second baseline family in Section 7.1.  The plan tree becomes an undirected
+graph with self-loops; layers apply the symmetric-normalized propagation
+rule of Kipf & Welling (2016).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autodiff import Tensor, relu
+from repro.nn.layers import Linear, Module
+
+__all__ = ["GCNEncoder", "normalized_adjacency"]
+
+
+def normalized_adjacency(left: np.ndarray, right: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Build D^-1/2 (A + I) D^-1/2 for a batch of padded trees.
+
+    ``left``/``right``: (B, N) child row indices (0 = absent, row 0 is the
+    sentinel); ``mask``: (B, N, 1).  Sentinel and padding rows stay isolated.
+    """
+    batch, n_rows = left.shape
+    adj = np.zeros((batch, n_rows, n_rows))
+    rows = np.arange(n_rows)
+    for b in range(batch):
+        real = mask[b, :, 0] > 0.0
+        for child_index in (left[b], right[b]):
+            has_child = (child_index > 0) & real
+            parents = rows[has_child]
+            children = child_index[has_child]
+            adj[b, parents, children] = 1.0
+            adj[b, children, parents] = 1.0
+        adj[b, rows[real], rows[real]] = 1.0  # self-loops on real nodes only
+    degree = adj.sum(axis=-1)
+    with np.errstate(divide="ignore"):
+        inv_sqrt = np.where(degree > 0.0, degree**-0.5, 0.0)
+    return adj * inv_sqrt[:, :, None] * inv_sqrt[:, None, :]
+
+
+class GCNEncoder(Module):
+    """Stacked graph convolutions + masked mean pooling + FC head."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dims: tuple[int, ...] = (128, 64),
+        embedding_dim: int = 32,
+        *,
+        rng: np.random.Generator,
+    ) -> None:
+        self.layers: list[Linear] = []
+        prev = in_dim
+        for hidden in hidden_dims:
+            self.layers.append(Linear(prev, hidden, rng=rng))
+            prev = hidden
+        self.head = Linear(prev, embedding_dim, rng=rng)
+        self.in_dim = in_dim
+        self.embedding_dim = embedding_dim
+
+    def forward(self, features: np.ndarray, adjacency: np.ndarray, mask: np.ndarray) -> Tensor:
+        x = Tensor(features)
+        adj = Tensor(adjacency)
+        mask_t = Tensor(mask)
+        for layer in self.layers:
+            x = relu(adj @ layer(x)) * mask_t
+        summed = x.sum(axis=1)
+        counts = Tensor(np.maximum(mask.sum(axis=1), 1.0))
+        pooled = summed * counts**-1.0
+        return relu(self.head(pooled))

@@ -1,0 +1,35 @@
+"""The gradient reversal layer as a module, with the DANN lambda schedule.
+
+Ganin & Lempitsky (2015) anneal lambda from 0 to 1 over training:
+``lambda(p) = 2 / (1 + exp(-10 p)) - 1`` where ``p`` is training progress in
+[0, 1].  The paper states lambda "is set automatically following" that work
+(Section 4), so we adopt the same schedule.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.autodiff import Tensor, grl
+from repro.nn.layers import Module
+
+__all__ = ["GradientReversal", "dann_lambda"]
+
+
+def dann_lambda(progress: float) -> float:
+    """The DANN annealing schedule for the GRL coefficient."""
+    progress = min(1.0, max(0.0, progress))
+    return 2.0 / (1.0 + math.exp(-10.0 * progress)) - 1.0
+
+
+class GradientReversal(Module):
+    """Forward identity; backward gradient scaled by ``-lam``."""
+
+    def __init__(self, lam: float = 1.0) -> None:
+        self.lam = lam
+
+    def set_progress(self, progress: float) -> None:
+        self.lam = dann_lambda(progress)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return grl(x, self.lam)

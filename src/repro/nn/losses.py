@@ -1,0 +1,37 @@
+"""Loss functions: MSE for cost regression, cross-entropy for DomClf."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autodiff import Tensor
+
+__all__ = ["mse_loss", "softmax", "log_softmax", "cross_entropy_loss"]
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error (the paper's L_c, Eq. 1)."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_t
+    return (diff * diff).mean()
+
+
+def log_softmax(logits: Tensor) -> Tensor:
+    """Numerically stable log-softmax over the last axis."""
+    shifted = logits - Tensor(logits.data.max(axis=-1, keepdims=True))
+    log_norm = shifted.exp().sum(axis=-1, keepdims=True).log()
+    return shifted - log_norm
+
+
+def softmax(logits: Tensor) -> Tensor:
+    return log_softmax(logits).exp()
+
+
+def cross_entropy_loss(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy with integer class labels (the paper's L_d, Eq. 1)."""
+    labels = np.asarray(labels, dtype=int)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (batch, classes) logits, got shape {logits.shape}")
+    log_probs = log_softmax(logits)
+    picked = log_probs[np.arange(len(labels)), labels]
+    return -picked.mean()

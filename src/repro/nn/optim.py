@@ -1,0 +1,94 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains LOAM with an initial learning rate of 0.01 and an
+exponential decay factor of 0.99 per epoch (Section 7.1);
+:class:`ExponentialDecay` reproduces that schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autodiff import Tensor
+
+__all__ = ["SGD", "Adam", "ExponentialDecay"]
+
+
+class _Optimizer:
+    def __init__(self, parameters: list[Tensor], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    def __init__(self, parameters: list[Tensor], lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity -= self.lr * param.grad
+            param.data += velocity
+
+
+class Adam(_Optimizer):
+    def __init__(
+        self,
+        parameters: list[Tensor],
+        lr: float = 0.01,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1**self._t
+        bias2 = 1.0 - beta2**self._t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class ExponentialDecay:
+    """Multiply the optimizer's LR by ``gamma`` after each epoch."""
+
+    def __init__(self, optimizer: _Optimizer, gamma: float = 0.99) -> None:
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.optimizer = optimizer
+        self.gamma = gamma
+
+    def step(self) -> None:
+        self.optimizer.lr *= self.gamma

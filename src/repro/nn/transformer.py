@@ -1,0 +1,85 @@
+"""A compact self-attention encoder over plan-node sequences.
+
+Stands in for QueryFormer-style Transformer cost models (Zhao et al., 2022),
+one of the baseline families in Section 7.1.  Plans are flattened to node
+sequences (pre-order); padding is masked out of attention and pooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autodiff import Tensor, relu
+from repro.nn.layers import LayerNorm, Linear, Module
+from repro.nn.losses import softmax
+
+__all__ = ["TransformerEncoder"]
+
+
+class _AttentionBlock(Module):
+    def __init__(self, dim: int, *, n_heads: int, rng: np.random.Generator) -> None:
+        if dim % n_heads != 0:
+            raise ValueError(f"model dim {dim} not divisible by {n_heads} heads")
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.ffn1 = Linear(dim, 2 * dim, rng=rng)
+        self.ffn2 = Linear(2 * dim, dim, rng=rng)
+
+    def forward(self, x: Tensor, attn_bias: np.ndarray) -> Tensor:
+        batch, n_nodes, dim = x.shape
+
+        def split_heads(t: Tensor) -> Tensor:
+            return t.reshape(batch, n_nodes, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        q = split_heads(self.q_proj(x))
+        k = split_heads(self.k_proj(x))
+        v = split_heads(self.v_proj(x))
+        scores = q @ k.transpose(0, 1, 3, 2) * (1.0 / np.sqrt(self.head_dim))
+        scores = scores + Tensor(attn_bias[:, None, :, :])  # -inf on padding
+        attended = softmax(scores) @ v
+        merged = attended.transpose(0, 2, 1, 3).reshape(batch, n_nodes, dim)
+        x = self.norm1(x + self.out_proj(merged))
+        x = self.norm2(x + self.ffn2(relu(self.ffn1(x))))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Input projection + attention blocks + masked mean pooling."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        model_dim: int = 64,
+        embedding_dim: int = 32,
+        *,
+        n_layers: int = 2,
+        n_heads: int = 4,
+        rng: np.random.Generator,
+    ) -> None:
+        self.input_proj = Linear(in_dim, model_dim, rng=rng)
+        self.blocks = [
+            _AttentionBlock(model_dim, n_heads=n_heads, rng=rng) for _ in range(n_layers)
+        ]
+        self.head = Linear(model_dim, embedding_dim, rng=rng)
+        self.in_dim = in_dim
+        self.embedding_dim = embedding_dim
+
+    def forward(self, features: np.ndarray, mask: np.ndarray) -> Tensor:
+        """``features``: (B, N, D) padded node sequences; ``mask``: (B, N)
+        with 1.0 on real nodes."""
+        attn_bias = np.where(mask[:, None, :] > 0.0, 0.0, -1e9)  # (B, 1, N)
+        attn_bias = np.broadcast_to(attn_bias, (mask.shape[0], mask.shape[1], mask.shape[1]))
+        x = relu(self.input_proj(Tensor(features)))
+        for block in self.blocks:
+            x = block(x, attn_bias)
+        mask_t = Tensor(mask[:, :, None])
+        summed = (x * mask_t).sum(axis=1)
+        counts = Tensor(np.maximum(mask.sum(axis=1, keepdims=True), 1.0))
+        pooled = summed * counts**-1.0
+        return relu(self.head(pooled))

@@ -1,0 +1,85 @@
+"""Graph views of plans, stages, and join structures (networkx).
+
+Analysis utilities used by notebooks, debugging sessions, and the project
+Ranker's diagnostics: convert MiniDW structures into ``networkx`` graphs so
+standard graph algorithms (critical paths, topology checks, centrality)
+apply directly.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.warehouse.plan import PhysicalPlan
+from repro.warehouse.query import Query
+from repro.warehouse.stages import StageGraph
+
+__all__ = ["plan_to_networkx", "stage_graph_to_networkx", "join_graph", "critical_stage_path"]
+
+
+def plan_to_networkx(plan: PhysicalPlan) -> nx.DiGraph:
+    """Operator tree as a DiGraph (edges parent -> child)."""
+    graph = nx.DiGraph()
+    for node in plan.iter_nodes():
+        graph.add_node(
+            node.node_id,
+            op_type=node.op_type,
+            est_rows=node.est_rows,
+            true_rows=node.true_rows,
+            stage_id=node.stage_id,
+        )
+        for child in node.children:
+            graph.add_edge(node.node_id, child.node_id)
+    return graph
+
+
+def stage_graph_to_networkx(stages: StageGraph, *, field_name: str = "true_rows") -> nx.DiGraph:
+    """Stage dependency DAG (edges upstream -> downstream), annotated with
+    intrinsic cost and parallelism."""
+    graph = nx.DiGraph()
+    for stage in stages.stages:
+        graph.add_node(
+            stage.stage_id,
+            n_operators=stage.n_operators,
+            intrinsic_cost=stage.intrinsic_cost(field_name=field_name),
+            parallelism=stage.parallelism(field_name=field_name),
+        )
+    for stage in stages.stages:
+        for upstream in stage.upstream:
+            graph.add_edge(upstream, stage.stage_id)
+    return graph
+
+
+def join_graph(query: Query) -> nx.Graph:
+    """The query's join graph: tables as nodes, equi-joins as edges."""
+    graph = nx.Graph()
+    graph.add_nodes_from(query.tables)
+    for join in query.joins:
+        graph.add_edge(
+            join.left_table,
+            join.right_table,
+            left_column=join.left_column,
+            right_column=join.right_column,
+            form=join.form,
+        )
+    return graph
+
+
+def critical_stage_path(stages: StageGraph, *, field_name: str = "true_rows") -> tuple[list[int], float]:
+    """The most expensive dependency chain of stages: the latency-critical
+    path through the stage DAG (per-instance work as edge weights)."""
+    graph = stage_graph_to_networkx(stages, field_name=field_name)
+    if graph.number_of_nodes() == 0:
+        return [], 0.0
+
+    def stage_weight(stage_id: int) -> float:
+        data = graph.nodes[stage_id]
+        return data["intrinsic_cost"] / max(1, data["parallelism"])
+
+    best: dict[int, tuple[float, list[int]]] = {}
+    for stage_id in nx.topological_sort(graph):
+        incoming = [best[p] for p in graph.predecessors(stage_id)]
+        base_cost, base_path = max(incoming, default=(0.0, []), key=lambda t: t[0])
+        best[stage_id] = (base_cost + stage_weight(stage_id), base_path + [stage_id])
+    cost, path = max(best.values(), key=lambda t: t[0])
+    return path, cost

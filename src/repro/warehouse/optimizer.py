@@ -1,0 +1,541 @@
+"""The native cost-based query optimizer of the simulated warehouse.
+
+The optimizer mirrors the behaviour Section 2.1 of the paper attributes to
+MaxCompute's native optimizer:
+
+* it is cost-based, exploring join orders and physical operator choices with
+  an estimated-cardinality model;
+* when column statistics are missing it falls back to coarse metadata-driven
+  estimates (historical row counts, default selectivities), **disables join
+  reordering**, and leaves statistics-hungry rules (partial aggregation,
+  join-filter pushdown, shuffle removal) off — which is precisely where the
+  improvement space for a steering learned optimizer comes from;
+* its decisions can be steered by :class:`~repro.warehouse.flags.OptimizerFlags`
+  and by Lero-style cardinality scaling, the two knob families LOAM's plan
+  explorer uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.warehouse.catalog import Catalog
+from repro.warehouse.costmodel import (
+    COST,
+    CostConstants,
+    EstimatedCardinalityModel,
+    intrinsic_plan_cost,
+)
+from repro.warehouse.flags import OptimizerFlags
+from repro.warehouse.operators import (
+    AggregateNode,
+    ExchangeNode,
+    JoinNode,
+    PlanNode,
+    SortNode,
+    SpoolNode,
+    TableScanNode,
+)
+from repro.warehouse.plan import PhysicalPlan
+from repro.warehouse.query import JoinSpec, Predicate, Query
+from repro.warehouse.statistics import StatisticsView
+
+__all__ = ["NativeOptimizer"]
+
+
+class _SubPlan:
+    """A partially built plan: the operator subtree plus its partitioning
+    property (the equivalence class of columns the data is hash-partitioned
+    on, or ``None`` when arbitrarily distributed)."""
+
+    __slots__ = ("node", "tables", "partition_keys", "sorted_on", "stats_ok")
+
+    def __init__(
+        self,
+        node: PlanNode,
+        tables: frozenset[str],
+        partition_keys: frozenset[str] | None = None,
+        sorted_on: str | None = None,
+        stats_ok: bool = False,
+    ) -> None:
+        self.node = node
+        self.tables = tables
+        self.partition_keys = partition_keys
+        self.sorted_on = sorted_on
+        #: True when every base table below has maintained column statistics,
+        #: i.e. the optimizer may trust its estimates enough to apply
+        #: statistics-hungry rules natively.
+        self.stats_ok = stats_ok
+
+
+class NativeOptimizer:
+    """Cost-based optimizer over the simulated catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        stats: StatisticsView,
+        *,
+        constants: CostConstants = COST,
+        broadcast_threshold: float = 50_000.0,
+    ) -> None:
+        self.catalog = catalog
+        self.stats = stats
+        self.constants = constants
+        self.broadcast_threshold = broadcast_threshold
+
+    # -- public API --------------------------------------------------------
+
+    def optimize(
+        self,
+        query: Query,
+        *,
+        flags: OptimizerFlags | None = None,
+        cardinality_scale: float = 1.0,
+        provenance: str = "default",
+    ) -> PhysicalPlan:
+        """Produce a physical plan for ``query`` under the given knobs."""
+        flags = flags or OptimizerFlags()
+        model = EstimatedCardinalityModel(self.stats, cardinality_scale=cardinality_scale)
+        # Physical-operator decisions (broadcast, spill avoidance) always use
+        # unscaled estimates: cardinality scaling steers plan *structure*,
+        # not safety-critical implementation choices.
+        raw_model = (
+            model
+            if cardinality_scale == 1.0
+            else EstimatedCardinalityModel(self.stats, cardinality_scale=1.0)
+        )
+        derived = self._derived_semijoin_filters(query, model, forced=flags.join_filter_pushdown)
+
+        scans: dict[str, _SubPlan] = {}
+        for table in query.tables:
+            scan = self._build_scan(query, table, derived.get(table, ()))
+            scans[table] = _SubPlan(
+                scan, frozenset([table]), stats_ok=self.stats.has_column_stats(table)
+            )
+
+        order = self._join_order(query, scans, model, raw_model, cardinality_scale)
+        current = scans[order[0]]
+        for table in order[1:]:
+            spec = self._connecting_join(query, current.tables, table)
+            current = self._build_join(query, current, scans[table], spec, raw_model, flags)
+
+        root = current.node
+        if query.aggregate is not None:
+            root = self._build_aggregation(query, current, model, flags)
+
+        model.annotate(root, query, field="est_rows")
+        plan = PhysicalPlan(
+            root=root,
+            query=query,
+            provenance=provenance,
+            knob_signature=(flags.signature(), cardinality_scale),
+        )
+        return plan
+
+    def estimated_cost(self, plan: PhysicalPlan) -> float:
+        """The optimizer's own rough cost of a plan (used for top-k pruning)."""
+        model = EstimatedCardinalityModel(self.stats)
+        model.annotate(plan.root, plan.query, field="est_rows")
+        return intrinsic_plan_cost(plan.root, field="est_rows", constants=self.constants)
+
+    # -- scans and derived filters -----------------------------------------
+
+    def _build_scan(
+        self, query: Query, table: str, derived_predicates: tuple[Predicate, ...]
+    ) -> TableScanNode:
+        table_meta = self.catalog.table(table)
+        predicates = query.predicates_on(table) + tuple(derived_predicates)
+        n_partitions = max(1, int(round(table_meta.n_partitions * query.partition_fraction(table))))
+        return TableScanNode(
+            table=table,
+            n_partitions=n_partitions,
+            n_columns=self._columns_accessed(query, table),
+            predicates=predicates,
+        )
+
+    def _columns_accessed(self, query: Query, table: str) -> int:
+        columns: set[str] = set()
+        for pred in query.predicates_on(table):
+            columns.add(pred.column)
+        for join in query.joins:
+            if join.touches(table):
+                columns.add(join.column_for(table))
+        agg = query.aggregate
+        if agg is not None:
+            if agg.table == table:
+                columns.add(agg.agg_column)
+            for qualified in agg.group_by:
+                t, _, c = qualified.partition(".")
+                if t == table:
+                    columns.add(c)
+        return max(1, len(columns))
+
+    def _derived_semijoin_filters(
+        self, query: Query, model: EstimatedCardinalityModel, *, forced: bool
+    ) -> dict[str, tuple[Predicate, ...]]:
+        """Join-filter pushdown: a heavily predicated side of a join emits a
+        runtime filter on the other side's join column (Appendix D.2 calls
+        this 'producing predicates from the smaller table to filter the
+        larger one').
+
+        Applied natively only when the source table has maintained column
+        statistics *and* the estimated selectivity is confidently low; the
+        steering flag forces it regardless (this rule is exactly the kind
+        that Section 2.1 says gets disabled without reliable statistics).
+        """
+        derived: dict[str, list[Predicate]] = {}
+        for join in query.joins:
+            for src, dst in ((join.left_table, join.right_table), (join.right_table, join.left_table)):
+                preds = query.predicates_on(src)
+                if not preds:
+                    continue
+                if not forced and not self.stats.has_column_stats(src):
+                    continue
+                selectivity = 1.0
+                for pred in preds:
+                    selectivity *= model.selectivity(pred)
+                threshold = 0.5 if forced else 0.2
+                if selectivity >= threshold:
+                    continue
+                # A runtime semi-join filter only removes rows that would not
+                # have joined, so its leverage is bounded in this model: it
+                # keeps at least half the key domain, and only the strongest
+                # filter per destination table applies (DESIGN.md notes).
+                fraction = max(0.5, min(1.0, 3.0 * selectivity))
+                candidate = Predicate(
+                    table=dst, column=join.column_for(dst), op="<", value=fraction
+                )
+                existing = derived.get(dst)
+                if existing is None or candidate.value < existing[0].value:
+                    derived[dst] = [candidate]
+        return {table: tuple(preds) for table, preds in derived.items()}
+
+    # -- join ordering ------------------------------------------------------
+
+    def _reordering_enabled(self, query: Query) -> bool:
+        """Join reordering needs trustworthy statistics (Section 2.1: the
+        rule is disabled when statistics are missing).  Cardinality scaling
+        perturbs the order only where estimates exist to scale."""
+        return all(self.stats.has_column_stats(t) for t in query.tables)
+
+    def _join_order(
+        self,
+        query: Query,
+        scans: dict[str, _SubPlan],
+        model: EstimatedCardinalityModel,
+        raw_model: EstimatedCardinalityModel,
+        cardinality_scale: float,
+    ) -> list[str]:
+        if query.n_tables == 1:
+            return list(query.tables)
+        if not self._reordering_enabled(query):
+            return list(query.tables)  # syntactic order (reordering disabled)
+
+        order = self._greedy_order(query, scans, model)
+        if cardinality_scale != 1.0 and order != list(query.tables):
+            # Sanity check a steered order against the *unscaled* cost model:
+            # if the optimizer's own estimates say it is much worse than the
+            # syntactic order, the steering produced a drastically bad plan
+            # and we fall back (the explorer's knobs are meant to be safe).
+            steered_cost = self._order_estimated_cost(query, scans, order, raw_model)
+            syntactic_cost = self._order_estimated_cost(
+                query, scans, list(query.tables), raw_model
+            )
+            if steered_cost > 3.0 * syntactic_cost:
+                return list(query.tables)
+        return order
+
+    def _greedy_order(
+        self,
+        query: Query,
+        scans: dict[str, _SubPlan],
+        model: EstimatedCardinalityModel,
+    ) -> list[str]:
+        """Left-deep greedy: start from the smallest scan, repeatedly add
+        the connected table whose join output the model estimates smallest.
+        Trial trees are annotated with the (possibly scaled) model, so
+        cardinality scaling genuinely perturbs the chosen order."""
+        scan_rows = {
+            table: model.annotate(sub.node.clone(), query, field="est_rows")
+            for table, sub in scans.items()
+        }
+        remaining = set(query.tables)
+        order = [min(remaining, key=lambda t: (scan_rows[t], query.tables.index(t)))]
+        remaining.discard(order[0])
+
+        while remaining:
+            connected = [
+                t
+                for t in remaining
+                if query.joins_between(frozenset(order), frozenset([t]))
+            ]
+            if not connected:
+                # Disconnected remainder can only happen with a broken join
+                # graph, which Query validation rejects; guard anyway.
+                connected = sorted(remaining, key=query.tables.index)
+            best_table, best_rows = None, math.inf
+            for t in connected:
+                out_rows = self._order_estimated_rows(query, scans, [*order, t], model)
+                if out_rows < best_rows:
+                    best_table, best_rows = t, out_rows
+            assert best_table is not None
+            order.append(best_table)
+            remaining.discard(best_table)
+        return order
+
+    def _order_estimated_rows(
+        self,
+        query: Query,
+        scans: dict[str, _SubPlan],
+        order: list[str],
+        model: EstimatedCardinalityModel,
+    ) -> float:
+        tree = self._left_deep_tree(query, scans, order)
+        return model.annotate(tree, query, field="est_rows")
+
+    def _order_estimated_cost(
+        self,
+        query: Query,
+        scans: dict[str, _SubPlan],
+        order: list[str],
+        model: EstimatedCardinalityModel,
+    ) -> float:
+        """Rough estimated cost of a left-deep hash-join tree in ``order``."""
+        tree = self._left_deep_tree(query, scans, order)
+        model.annotate(tree, query, field="est_rows")
+        return intrinsic_plan_cost(tree, field="est_rows", constants=self.constants)
+
+    def _left_deep_tree(
+        self, query: Query, scans: dict[str, _SubPlan], order: list[str]
+    ) -> PlanNode:
+        tree: PlanNode = scans[order[0]].node.clone()
+        joined = frozenset([order[0]])
+        for table in order[1:]:
+            spec = self._connecting_join(query, joined, table)
+            build_key = f"{spec.left_table}.{spec.left_column}"
+            probe_key = f"{spec.right_table}.{spec.right_column}"
+            tree = JoinNode(
+                children=[tree, scans[table].node.clone()],
+                algorithm="hash",
+                form=spec.form,
+                left_key=build_key,
+                right_key=probe_key,
+            )
+            joined = joined | {table}
+        return tree
+
+    @staticmethod
+    def _estimate_join_rows(left_rows: float, right_rows: float) -> float:
+        """Greedy-ordering heuristic: joins reduce toward the smaller input.
+
+        The precise estimate is recomputed when the join node is built; the
+        ordering pass only needs a monotone proxy.
+        """
+        return min(left_rows, right_rows) * max(
+            1.0, math.log10(max(left_rows, right_rows) + 1.0)
+        )
+
+    def _connecting_join(self, query: Query, joined: frozenset[str], table: str) -> JoinSpec:
+        specs = query.joins_between(joined, frozenset([table]))
+        if not specs:
+            raise ValueError(f"no join connects {table!r} to {sorted(joined)}")
+        return specs[0]
+
+    # -- physical join construction -----------------------------------------
+
+    def _build_join(
+        self,
+        query: Query,
+        left: _SubPlan,
+        right: _SubPlan,
+        spec: JoinSpec,
+        model: EstimatedCardinalityModel,
+        flags: OptimizerFlags,
+    ) -> _SubPlan:
+        left_rows = model.annotate(left.node.clone(), query, field="est_rows")
+        right_rows = model.annotate(right.node.clone(), query, field="est_rows")
+
+        # Orient so that `build` is the (estimated) smaller input.
+        if right_rows <= left_rows:
+            build, probe = right, left
+            build_rows, probe_rows = right_rows, left_rows
+        else:
+            build, probe = left, right
+            build_rows, probe_rows = left_rows, right_rows
+
+        build_table_side = "left" if spec.left_table in build.tables else "right"
+        build_key = (
+            f"{spec.left_table}.{spec.left_column}"
+            if build_table_side == "left"
+            else f"{spec.right_table}.{spec.right_column}"
+        )
+        probe_key = (
+            f"{spec.right_table}.{spec.right_column}"
+            if build_table_side == "left"
+            else f"{spec.left_table}.{spec.left_column}"
+        )
+        key_class = frozenset([build_key, probe_key])
+
+        # Statistics-hungry join rules need trustworthy estimates for the
+        # tables owning the join keys (not every table in the subtree).
+        stats_ok = self._column_table_has_stats(build_key) and self._column_table_has_stats(
+            probe_key
+        )
+        algorithm = self._choose_join_algorithm(build_rows, probe_rows, flags, stats_ok)
+
+        # Shuffle reuse is safe to apply natively only when estimates are
+        # trustworthy; the flag forces it.
+        allow_reuse = flags.shuffle_removal or stats_ok
+        if algorithm == "broadcast":
+            build_node: PlanNode = ExchangeNode(children=[build.node], mode="broadcast")
+            probe_node = probe.node
+            out_partition = probe.partition_keys
+            out_sorted = probe.sorted_on
+        elif algorithm == "merge":
+            build_node = self._partition_and_sort(build, build_key, key_class, allow_reuse)
+            probe_node = self._partition_and_sort(probe, probe_key, key_class, allow_reuse)
+            out_partition = key_class
+            out_sorted = build_key
+        else:  # hash
+            build_node = self._partition(build, build_key, key_class, allow_reuse)
+            probe_node = self._partition(probe, probe_key, key_class, allow_reuse)
+            out_partition = key_class
+            out_sorted = None
+
+        join = JoinNode(
+            children=[build_node, probe_node],
+            algorithm=algorithm,
+            form=spec.form,
+            left_key=build_key,
+            right_key=probe_key,
+        )
+        return _SubPlan(
+            join,
+            tables=build.tables | probe.tables,
+            partition_keys=out_partition,
+            sorted_on=out_sorted,
+            stats_ok=stats_ok,
+        )
+
+    def _choose_join_algorithm(
+        self, build_rows: float, probe_rows: float, flags: OptimizerFlags, stats_ok: bool
+    ) -> str:
+        if not flags.disable_broadcast_join and build_rows < self.broadcast_threshold:
+            return "broadcast"
+        if flags.prefer_merge_join:
+            return "merge"
+        del stats_ok  # the hash-vs-merge choice needs only row counts,
+        # which exist (if stale) even without column statistics.
+        if self._merge_beats_hash(build_rows, probe_rows):
+            return "merge"
+        return "hash"
+
+    def _merge_beats_hash(self, build_rows: float, probe_rows: float) -> bool:
+        c = self.constants
+        hash_cost = c.hash_build * build_rows + c.hash_probe * probe_rows
+        if build_rows > c.hash_spill_threshold:
+            hash_cost *= c.hash_spill_penalty
+        sort_cost = sum(
+            c.sort_factor * rows * math.log2(rows + 2.0) for rows in (build_rows, probe_rows)
+        )
+        merge_cost = c.merge_input * (build_rows + probe_rows) + sort_cost
+        return merge_cost < hash_cost
+
+    def _partition(
+        self, side: _SubPlan, key: str, key_class: frozenset[str], allow_reuse: bool
+    ) -> PlanNode:
+        if allow_reuse and side.partition_keys and side.partition_keys & key_class:
+            return side.node  # already co-partitioned on an equivalent key
+        return ExchangeNode(children=[side.node], mode="shuffle", keys=(key,))
+
+    def _partition_and_sort(
+        self, side: _SubPlan, key: str, key_class: frozenset[str], allow_reuse: bool
+    ) -> PlanNode:
+        node = self._partition(side, key, key_class, allow_reuse)
+        if side.sorted_on == key and node is side.node:
+            return node  # partitioning and order both reusable
+        return SortNode(children=[node], keys=(key,))
+
+    # -- aggregation ---------------------------------------------------------
+
+    def _build_aggregation(
+        self,
+        query: Query,
+        input_plan: _SubPlan,
+        model: EstimatedCardinalityModel,
+        flags: OptimizerFlags,
+    ) -> PlanNode:
+        agg = query.aggregate
+        assert agg is not None
+        node: PlanNode = input_plan.node
+
+        # Estimated input/group sizes steer the native (statistics-backed)
+        # application of partial aggregation and spooling.  These rules need
+        # statistics for the aggregated and grouping tables only.
+        input_rows = model.annotate(input_plan.node.clone(), query, field="est_rows")
+        est_groups = self._estimated_group_count(agg, input_rows, model)
+        # Partial aggregation needs NDVs of the grouping columns; spooling
+        # needs only the input row-count estimate.
+        agg_stats_ok = all(
+            self._column_table_has_stats(qualified) for qualified in agg.group_by
+        )
+
+        use_spool = flags.enable_spool or input_rows > 2.0e6
+        if use_spool:
+            node = SpoolNode(children=[node], shared_id=f"{query.query_id}:preagg")
+
+        kind = "sort" if (flags.prefer_merge_join and input_plan.sorted_on) else "hash"
+
+        if not agg.group_by:
+            gathered = ExchangeNode(children=[node], mode="gather")
+            return AggregateNode(
+                children=[gathered],
+                kind=kind,
+                func=agg.func,
+                agg_column=f"{agg.table}.{agg.agg_column}",
+                group_by=(),
+            )
+
+        use_partial = flags.partial_aggregation or (
+            agg_stats_ok and est_groups < 0.05 * input_rows
+        )
+        if use_partial:
+            node = AggregateNode(
+                children=[node],
+                kind=kind,
+                func=agg.func,
+                agg_column=f"{agg.table}.{agg.agg_column}",
+                group_by=agg.group_by,
+                partial=True,
+            )
+
+        needs_shuffle = True
+        if (
+            (flags.shuffle_removal or agg_stats_ok)
+            and input_plan.partition_keys
+            and set(agg.group_by) & input_plan.partition_keys
+        ):
+            needs_shuffle = False
+        if needs_shuffle:
+            node = ExchangeNode(children=[node], mode="shuffle", keys=agg.group_by)
+
+        return AggregateNode(
+            children=[node],
+            kind=kind,
+            func=agg.func,
+            agg_column=f"{agg.table}.{agg.agg_column}",
+            group_by=agg.group_by,
+        )
+
+    def _column_table_has_stats(self, qualified_column: str) -> bool:
+        table, _, _ = qualified_column.partition(".")
+        return self.stats.has_column_stats(table)
+
+    def _estimated_group_count(
+        self, agg, input_rows: float, model: EstimatedCardinalityModel
+    ) -> float:
+        groups = 1.0
+        for qualified in agg.group_by:
+            groups *= min(model.column_ndv(qualified), input_rows)
+        return min(groups, input_rows)

@@ -1,0 +1,272 @@
+"""Persistence: serializing queries, plans, and execution records.
+
+The historical query repository is the data foundation LOAM trains on; in
+production it outlives any single process.  This module round-trips MiniDW
+structures through plain JSON (one record per line in a ``.jsonl`` file),
+preserving everything the learned components consume: plan structure,
+operator attributes, per-node logged environments, per-stage execution
+details, and costs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.warehouse.cluster import EnvironmentSample
+from repro.warehouse.executor import ExecutionRecord, StageExecution
+from repro.warehouse.operators import (
+    AggregateNode,
+    CalcNode,
+    ExchangeNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    SortNode,
+    SpoolNode,
+    TableScanNode,
+)
+from repro.warehouse.plan import PhysicalPlan
+from repro.warehouse.query import AggregateSpec, JoinSpec, Predicate, Query
+from repro.warehouse.repository import QueryRepository
+
+__all__ = [
+    "query_to_dict",
+    "query_from_dict",
+    "plan_to_dict",
+    "plan_from_dict",
+    "record_to_dict",
+    "record_from_dict",
+    "save_repository",
+    "load_repository",
+]
+
+_NODE_CLASSES = {
+    cls.__name__: cls
+    for cls in (
+        TableScanNode,
+        FilterNode,
+        CalcNode,
+        ProjectNode,
+        JoinNode,
+        AggregateNode,
+        SortNode,
+        ExchangeNode,
+        SpoolNode,
+        LimitNode,
+    )
+}
+
+
+def _predicate_to_dict(predicate: Predicate) -> dict:
+    return {
+        "table": predicate.table,
+        "column": predicate.column,
+        "op": predicate.op,
+        "value": predicate.value,
+    }
+
+
+def _predicate_from_dict(data: dict) -> Predicate:
+    return Predicate(**data)
+
+
+def query_to_dict(query: Query) -> dict:
+    return {
+        "query_id": query.query_id,
+        "project": query.project,
+        "template_id": query.template_id,
+        "tables": list(query.tables),
+        "joins": [
+            {
+                "left_table": j.left_table,
+                "left_column": j.left_column,
+                "right_table": j.right_table,
+                "right_column": j.right_column,
+                "form": j.form,
+            }
+            for j in query.joins
+        ],
+        "predicates": [_predicate_to_dict(p) for p in query.predicates],
+        "aggregate": None
+        if query.aggregate is None
+        else {
+            "func": query.aggregate.func,
+            "table": query.aggregate.table,
+            "agg_column": query.aggregate.agg_column,
+            "group_by": list(query.aggregate.group_by),
+        },
+        "partition_fractions": dict(query.partition_fractions),
+        "submit_day": query.submit_day,
+    }
+
+
+def query_from_dict(data: dict) -> Query:
+    aggregate = None
+    if data["aggregate"] is not None:
+        agg = data["aggregate"]
+        aggregate = AggregateSpec(
+            func=agg["func"],
+            table=agg["table"],
+            agg_column=agg["agg_column"],
+            group_by=tuple(agg["group_by"]),
+        )
+    return Query(
+        query_id=data["query_id"],
+        project=data["project"],
+        template_id=data["template_id"],
+        tables=tuple(data["tables"]),
+        joins=tuple(JoinSpec(**j) for j in data["joins"]),
+        predicates=tuple(_predicate_from_dict(p) for p in data["predicates"]),
+        aggregate=aggregate,
+        partition_fractions=dict(data["partition_fractions"]),
+        submit_day=data["submit_day"],
+    )
+
+
+def _node_to_dict(node: PlanNode) -> dict:
+    kwargs = node._ctor_kwargs()
+    for key, value in list(kwargs.items()):
+        if key == "predicates":
+            kwargs[key] = [_predicate_to_dict(p) for p in value]
+        elif isinstance(value, tuple):
+            kwargs[key] = list(value)
+    return {
+        "type": type(node).__name__,
+        "kwargs": kwargs,
+        "est_rows": node.est_rows,
+        "true_rows": node.true_rows,
+        "stage_id": node.stage_id,
+        "env": list(node.env) if node.env is not None else None,
+        "children": [_node_to_dict(child) for child in node.children],
+    }
+
+
+def _node_from_dict(data: dict) -> PlanNode:
+    try:
+        cls = _NODE_CLASSES[data["type"]]
+    except KeyError:
+        raise ValueError(f"unknown plan node type {data['type']!r}") from None
+    kwargs = dict(data["kwargs"])
+    for key, value in list(kwargs.items()):
+        if key == "predicates":
+            kwargs[key] = tuple(_predicate_from_dict(p) for p in value)
+        elif key in ("projected_columns", "columns", "keys", "group_by") and isinstance(
+            value, list
+        ):
+            kwargs[key] = tuple(value)
+    node = cls(**kwargs)
+    node.est_rows = data["est_rows"]
+    node.true_rows = data["true_rows"]
+    node.stage_id = data["stage_id"]
+    node.env = tuple(data["env"]) if data["env"] is not None else None
+    node.children = [_node_from_dict(child) for child in data["children"]]
+    return node
+
+
+def plan_to_dict(plan: PhysicalPlan) -> dict:
+    return {
+        "query": query_to_dict(plan.query),
+        "provenance": plan.provenance,
+        "root": _node_to_dict(plan.root),
+    }
+
+
+def plan_from_dict(data: dict) -> PhysicalPlan:
+    return PhysicalPlan(
+        root=_node_from_dict(data["root"]),
+        query=query_from_dict(data["query"]),
+        provenance=data["provenance"],
+    )
+
+
+def record_to_dict(record: ExecutionRecord) -> dict:
+    return {
+        "query_id": record.query_id,
+        "project": record.project,
+        "template_id": record.template_id,
+        "plan": plan_to_dict(record.plan),
+        "cpu_cost": record.cpu_cost,
+        "latency": record.latency,
+        "day": record.day,
+        "stages": [
+            {
+                "stage_id": s.stage_id,
+                "intrinsic_cost": s.intrinsic_cost,
+                "environment": [
+                    s.environment.cpu_idle,
+                    s.environment.io_wait,
+                    s.environment.load5,
+                    s.environment.mem_usage,
+                ],
+                "env_factor": s.env_factor,
+                "noise": s.noise,
+                "parallelism": s.parallelism,
+            }
+            for s in record.stages
+        ],
+    }
+
+
+def record_from_dict(data: dict) -> ExecutionRecord:
+    stages = [
+        StageExecution(
+            stage_id=s["stage_id"],
+            intrinsic_cost=s["intrinsic_cost"],
+            environment=EnvironmentSample(*s["environment"]),
+            env_factor=s["env_factor"],
+            noise=s["noise"],
+            parallelism=s["parallelism"],
+        )
+        for s in data["stages"]
+    ]
+    return ExecutionRecord(
+        query_id=data["query_id"],
+        project=data["project"],
+        template_id=data["template_id"],
+        plan=plan_from_dict(data["plan"]),
+        cpu_cost=data["cpu_cost"],
+        latency=data["latency"],
+        day=data["day"],
+        stages=stages,
+    )
+
+
+def save_repository(repository: QueryRepository, path: str | Path) -> Path:
+    """Write all records as JSON lines."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in repository.records:
+            handle.write(json.dumps(record_to_dict(record)) + "\n")
+    return path
+
+
+def load_repository(path: str | Path, *, project: str | None = None) -> QueryRepository:
+    """Rebuild a repository from JSON lines (project inferred if omitted)."""
+    path = Path(path)
+    records: list[ExecutionRecord] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(record_from_dict(json.loads(line)))
+    if project is None:
+        if not records:
+            raise ValueError(f"{path} holds no records; pass project= explicitly")
+        project = records[0].project
+    repository = QueryRepository(project)
+    repository.extend(records)
+    return repository
+
+
+def iter_records(path: str | Path) -> Iterable[ExecutionRecord]:
+    """Stream records without materializing the whole repository."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield record_from_dict(json.loads(line))

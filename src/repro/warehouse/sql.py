@@ -1,0 +1,334 @@
+"""A SQL front-end for MiniDW: the compilation phase of Figure 1.
+
+Queries submitted to MaxCompute are SQL statements; MiniDW accepts a
+dialect covering the workload shapes the simulator models:
+
+.. code-block:: sql
+
+    SELECT SUM(t0.attr1)
+    FROM t0
+    JOIN t1 ON t0.key0 = t1.pk
+    LEFT JOIN t2 ON t1.key1 = t2.key0
+    WHERE t0.attr2 = 0.35 AND t1.attr0 < 0.8
+    GROUP BY t0.key0
+
+Notes on semantics:
+
+* predicate literals are *normalized parameters* in [0, 1] — the rank
+  fraction form used throughout the simulator (see
+  :class:`repro.warehouse.query.Predicate`);
+* ``BETWEEN x`` takes the predicate's centre point (the simulator models a
+  fixed ±0.1 band), and ``LIKE x`` its coarse selectivity knob;
+* table sampling ``TABLESAMPLE (p PERCENT)`` maps to the partition fraction.
+
+:func:`parse_sql` produces a :class:`~repro.warehouse.query.Query`;
+:func:`format_sql` is its inverse (round-trip stable up to whitespace).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.warehouse.query import AGG_FUNCS, AggregateSpec, JoinSpec, Predicate, Query
+
+__all__ = ["parse_sql", "format_sql", "SqlSyntaxError"]
+
+
+class SqlSyntaxError(ValueError):
+    """Raised when a statement does not conform to the MiniDW dialect."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<punct>[(),.*])
+  | (?P<ws>\s+)
+""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select",
+    "from",
+    "join",
+    "left",
+    "right",
+    "full",
+    "inner",
+    "outer",
+    "on",
+    "where",
+    "and",
+    "group",
+    "by",
+    "between",
+    "like",
+    "as",
+    "tablesample",
+    "percent",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # number | ident | keyword | op | punct | end
+    text: str
+    position: int
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    while index < len(sql):
+        match = _TOKEN_RE.match(sql, index)
+        if match is None:
+            raise SqlSyntaxError(f"unexpected character {sql[index]!r} at offset {index}")
+        index = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup or "punct"
+        text = match.group()
+        if kind == "ident" and text.lower() in _KEYWORDS:
+            kind, text = "keyword", text.lower()
+        tokens.append(_Token(kind, text, match.start()))
+    tokens.append(_Token("end", "", len(sql)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = _tokenize(sql)
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise SqlSyntaxError(
+                f"expected {want!r} at offset {token.position}, found {token.text!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self, *, query_id: str, project: str, template_id: str) -> Query:
+        self.expect("keyword", "select")
+        aggregate_head = self._parse_select_list()
+        self.expect("keyword", "from")
+        tables: list[str] = []
+        fractions: dict[str, float] = {}
+        first_table, first_fraction = self._parse_table_ref()
+        tables.append(first_table)
+        if first_fraction is not None:
+            fractions[first_table] = first_fraction
+
+        joins: list[JoinSpec] = []
+        while True:
+            form = self._parse_join_form()
+            if form is None:
+                break
+            table, fraction = self._parse_table_ref()
+            if table in tables:
+                raise SqlSyntaxError(f"table {table!r} joined twice (aliases unsupported)")
+            tables.append(table)
+            if fraction is not None:
+                fractions[table] = fraction
+            self.expect("keyword", "on")
+            left_col = self._parse_column()
+            self.expect("op", "=")
+            right_col = self._parse_column()
+            joins.append(
+                JoinSpec(
+                    left_table=left_col[0],
+                    left_column=left_col[1],
+                    right_table=right_col[0],
+                    right_column=right_col[1],
+                    form=form,
+                )
+            )
+
+        predicates: list[Predicate] = []
+        if self.accept("keyword", "where"):
+            predicates.append(self._parse_predicate())
+            while self.accept("keyword", "and"):
+                predicates.append(self._parse_predicate())
+
+        group_by: tuple[str, ...] = ()
+        if self.accept("keyword", "group"):
+            self.expect("keyword", "by")
+            columns = [self._parse_column()]
+            while self.accept("punct", ","):
+                columns.append(self._parse_column())
+            group_by = tuple(f"{t}.{c}" for t, c in columns)
+
+        self.expect("end")
+
+        aggregate = None
+        if aggregate_head is not None:
+            func, (table, column) = aggregate_head
+            aggregate = AggregateSpec(
+                func=func, table=table, agg_column=column, group_by=group_by
+            )
+        elif group_by:
+            raise SqlSyntaxError("GROUP BY requires an aggregate in the SELECT list")
+
+        return Query(
+            query_id=query_id,
+            project=project,
+            template_id=template_id,
+            tables=tuple(tables),
+            joins=tuple(joins),
+            predicates=tuple(predicates),
+            aggregate=aggregate,
+            partition_fractions=fractions,
+        )
+
+    def _parse_select_list(self) -> tuple[str, tuple[str, str]] | None:
+        """Either ``*`` or a single ``FUNC(table.column)`` aggregate."""
+        if self.accept("punct", "*"):
+            return None
+        token = self.expect("ident")
+        func = token.text.lower()
+        if func not in AGG_FUNCS:
+            raise SqlSyntaxError(
+                f"unsupported select item {token.text!r} at offset {token.position} "
+                f"(expected * or one of {', '.join(AGG_FUNCS)})"
+            )
+        self.expect("punct", "(")
+        column = self._parse_column()
+        self.expect("punct", ")")
+        return func, column
+
+    def _parse_join_form(self) -> str | None:
+        if self.accept("keyword", "join"):
+            return "inner"
+        for form in ("left", "right", "full"):
+            if self.accept("keyword", form):
+                self.accept("keyword", "outer")
+                self.expect("keyword", "join")
+                return form
+        if self.accept("keyword", "inner"):
+            self.expect("keyword", "join")
+            return "inner"
+        return None
+
+    def _parse_table_ref(self) -> tuple[str, float | None]:
+        table = self.expect("ident").text
+        fraction = None
+        if self.accept("keyword", "tablesample"):
+            self.expect("punct", "(")
+            fraction = self._parse_number() / 100.0
+            self.expect("keyword", "percent")
+            self.expect("punct", ")")
+            if not 0.0 < fraction <= 1.0:
+                raise SqlSyntaxError("TABLESAMPLE percentage must be in (0, 100]")
+        return table, fraction
+
+    def _parse_column(self) -> tuple[str, str]:
+        table = self.expect("ident").text
+        self.expect("punct", ".")
+        column = self.expect("ident").text
+        return table, column
+
+    def _parse_predicate(self) -> Predicate:
+        table, column = self._parse_column()
+        token = self.peek()
+        if token.kind == "op":
+            op = self.advance().text
+            if op == "<>":
+                op = "!="
+            if op in ("<=", ">="):
+                op = op[0]  # the simulator's range semantics are inclusive-ish
+            value = self._parse_number()
+            return Predicate(table=table, column=column, op=op, value=value)
+        if self.accept("keyword", "between"):
+            value = self._parse_number()
+            return Predicate(table=table, column=column, op="between", value=value)
+        if self.accept("keyword", "like"):
+            value = self._parse_number()
+            return Predicate(table=table, column=column, op="like", value=value)
+        raise SqlSyntaxError(
+            f"expected a comparison at offset {token.position}, found {token.text!r}"
+        )
+
+    def _parse_number(self) -> float:
+        token = self.expect("number")
+        return float(token.text)
+
+
+def parse_sql(
+    sql: str,
+    *,
+    query_id: str = "sql-query",
+    project: str = "default",
+    template_id: str = "adhoc",
+) -> Query:
+    """Compile one SELECT statement into a :class:`Query`."""
+    return _Parser(sql).parse(query_id=query_id, project=project, template_id=template_id)
+
+
+def format_sql(query: Query) -> str:
+    """Render a :class:`Query` back to MiniDW SQL."""
+    if query.aggregate is not None:
+        agg = query.aggregate
+        select = f"{agg.func.upper()}({agg.table}.{agg.agg_column})"
+    else:
+        select = "*"
+    lines = [f"SELECT {select}", f"FROM {_table_ref(query, query.tables[0])}"]
+
+    joined = {query.tables[0]}
+    for table in query.tables[1:]:
+        specs = [j for j in query.joins if j.touches(table) and (
+            (j.left_table in joined) or (j.right_table in joined)
+        )]
+        if not specs:
+            raise ValueError(f"cannot serialize query: table {table!r} has no join to emit")
+        spec = specs[0]
+        keyword = {"inner": "JOIN", "left": "LEFT JOIN", "right": "RIGHT JOIN", "full": "FULL JOIN"}[
+            spec.form
+        ]
+        lines.append(
+            f"{keyword} {_table_ref(query, table)} ON "
+            f"{spec.left_table}.{spec.left_column} = {spec.right_table}.{spec.right_column}"
+        )
+        joined.add(table)
+
+    if query.predicates:
+        clauses = []
+        for pred in query.predicates:
+            if pred.op in ("between", "like"):
+                clauses.append(f"{pred.qualified_column} {pred.op.upper()} {pred.value:g}")
+            else:
+                clauses.append(f"{pred.qualified_column} {pred.op} {pred.value:g}")
+        lines.append("WHERE " + " AND ".join(clauses))
+
+    if query.aggregate is not None and query.aggregate.group_by:
+        lines.append("GROUP BY " + ", ".join(query.aggregate.group_by))
+    return "\n".join(lines)
+
+
+def _table_ref(query: Query, table: str) -> str:
+    fraction = query.partition_fractions.get(table)
+    if fraction is not None and fraction < 1.0:
+        return f"{table} TABLESAMPLE ({fraction * 100:g} PERCENT)"
+    return table

@@ -1,0 +1,160 @@
+"""Statistics views: what the native optimizer is allowed to know.
+
+MaxCompute does not automatically maintain attribute-level statistics
+(challenge C2).  The :class:`StatisticsView` mediates every statistics lookup
+the native optimizer makes:
+
+* with probability ``availability`` a table has *maintained* statistics —
+  NDVs and skew estimates with a small relative error (stale but usable);
+* otherwise only coarse metadata survives: a historical row count with a
+  potentially large drift, and no per-column information at all.
+
+When column statistics are missing, the optimizer must fall back to textbook
+default selectivities, and join reordering is disabled for the affected
+subtrees, exactly as Section 2.1 of the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import spawn_rng
+from repro.warehouse.catalog import Catalog, Column, Table
+
+__all__ = ["ColumnStats", "TableStats", "StatisticsView", "DEFAULT_SELECTIVITY"]
+
+#: Textbook fallback selectivities used when column statistics are missing.
+DEFAULT_SELECTIVITY = {
+    "=": 0.1,
+    "!=": 0.9,
+    "<": 1.0 / 3.0,
+    ">": 1.0 / 3.0,
+    "between": 0.25,
+    "like": 0.2,
+}
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Optimizer-visible statistics of one column (possibly noisy)."""
+
+    ndv: int
+    skew: float
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Optimizer-visible statistics of one table."""
+
+    n_rows: int
+    n_partitions: int
+    has_column_stats: bool
+    columns: dict[str, ColumnStats]
+
+
+class StatisticsView:
+    """A noisy, partially-missing window onto the catalog's ground truth.
+
+    Parameters
+    ----------
+    catalog:
+        Ground-truth catalog.
+    availability:
+        Probability that a table has maintained column statistics.
+    staleness:
+        Relative error scale applied to maintained statistics, and to the
+        historical row counts of tables without statistics (where the error
+        is three times larger, modelling long-unrefreshed metadata).
+    rng:
+        Source of reproducible randomness; which tables have statistics is
+        frozen at construction so repeated optimizations are deterministic.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        availability: float = 0.0,
+        staleness: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= availability <= 1.0:
+            raise ValueError(f"availability must be in [0, 1], got {availability}")
+        if staleness < 0:
+            raise ValueError(f"staleness must be >= 0, got {staleness}")
+        self.catalog = catalog
+        self.availability = availability
+        self.staleness = staleness
+        rng = rng or np.random.default_rng(0)
+        self._stats: dict[str, TableStats] = {}
+        for table in catalog.tables:
+            child = spawn_rng(rng, "stats", catalog.project, table.name)
+            self._stats[table.name] = self._materialize(table, child)
+
+    def _materialize(self, table: Table, rng: np.random.Generator) -> TableStats:
+        has_stats = bool(rng.random() < self.availability)
+        row_error = self.staleness if has_stats else 3.0 * self.staleness
+        n_rows = max(1, int(table.n_rows * float(np.exp(rng.normal(0.0, row_error)))))
+        columns: dict[str, ColumnStats] = {}
+        if has_stats:
+            for col in table.columns:
+                ndv = max(1, int(col.ndv * float(np.exp(rng.normal(0.0, self.staleness)))))
+                columns[col.name] = ColumnStats(ndv=ndv, skew=col.skew)
+        return TableStats(
+            n_rows=n_rows,
+            n_partitions=table.n_partitions,
+            has_column_stats=has_stats,
+            columns=columns,
+        )
+
+    def table_stats(self, table_name: str) -> TableStats:
+        try:
+            return self._stats[table_name]
+        except KeyError:
+            raise KeyError(f"no statistics entry for table {table_name!r}") from None
+
+    def has_column_stats(self, table_name: str) -> bool:
+        return self.table_stats(table_name).has_column_stats
+
+    def estimated_rows(self, table_name: str) -> int:
+        return self.table_stats(table_name).n_rows
+
+    def column_stats(self, table_name: str, column_name: str) -> ColumnStats | None:
+        stats = self.table_stats(table_name)
+        if not stats.has_column_stats:
+            return None
+        return stats.columns.get(column_name)
+
+    def estimate_selectivity(self, column: Column, op: str, value: float) -> float:
+        """Estimate the selectivity of ``column <op> value``.
+
+        ``value`` is the predicate parameter expressed as a rank fraction in
+        [0, 1] (see :class:`repro.warehouse.query.Predicate`).  With
+        statistics the estimate uses the recorded NDV/skew; without, the
+        textbook default for the operator.
+        """
+        stats = self.column_stats(column.table, column.name)
+        if stats is None:
+            try:
+                return DEFAULT_SELECTIVITY[op]
+            except KeyError:
+                raise ValueError(f"unknown predicate operator {op!r}") from None
+        proxy = Column(column.name, column.table, ndv=stats.ndv, skew=stats.skew)
+        if op == "=":
+            rank = max(1, min(stats.ndv, int(round(value * stats.ndv)) or 1))
+            return proxy.selectivity_eq(rank)
+        if op == "!=":
+            rank = max(1, min(stats.ndv, int(round(value * stats.ndv)) or 1))
+            return 1.0 - proxy.selectivity_eq(rank)
+        if op in ("<", ">"):
+            frac = proxy.selectivity_range(value)
+            return frac if op == "<" else 1.0 - frac
+        if op == "between":
+            return proxy.selectivity_range(min(1.0, value + 0.1)) - proxy.selectivity_range(
+                max(0.0, value - 0.1)
+            )
+        if op == "like":
+            return DEFAULT_SELECTIVITY["like"]
+        raise ValueError(f"unknown predicate operator {op!r}")

@@ -1,0 +1,270 @@
+"""Tests for repro.warehouse.costmodel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.warehouse.catalog import Catalog, Column, Table
+from repro.warehouse.costmodel import (
+    COST,
+    EstimatedCardinalityModel,
+    TrueCardinalityModel,
+    annotate_true_cardinalities,
+    intrinsic_node_cost,
+    intrinsic_plan_cost,
+    stage_parallelism,
+)
+from repro.warehouse.operators import (
+    AggregateNode,
+    ExchangeNode,
+    FilterNode,
+    JoinNode,
+    SortNode,
+    SpoolNode,
+    TableScanNode,
+)
+from repro.warehouse.query import JoinSpec, Predicate, Query
+from repro.warehouse.statistics import StatisticsView
+
+
+@pytest.fixture()
+def catalog():
+    return Catalog(
+        "p",
+        [
+            Table(
+                "a",
+                n_rows=100_000,
+                n_partitions=10,
+                columns=[
+                    Column("k", "a", ndv=1000, skew=0.0),
+                    Column("x", "a", ndv=100, skew=0.0),
+                ],
+            ),
+            Table(
+                "b",
+                n_rows=50_000,
+                n_partitions=5,
+                columns=[Column("k", "b", ndv=1000, skew=0.0)],
+            ),
+        ],
+    )
+
+
+def join_query(catalog, predicates=()):
+    return Query(
+        query_id="q",
+        project="p",
+        template_id="t",
+        tables=("a", "b"),
+        joins=(JoinSpec("a", "k", "b", "k"),),
+        predicates=predicates,
+    )
+
+
+def build_join_plan(predicates=()):
+    scan_a = TableScanNode(table="a", n_partitions=10, n_columns=2, predicates=predicates)
+    scan_b = TableScanNode(table="b", n_partitions=5, n_columns=1)
+    return JoinNode(
+        children=[scan_b, scan_a],
+        algorithm="hash",
+        form="inner",
+        left_key="b.k",
+        right_key="a.k",
+    )
+
+
+class TestTrueCardinalities:
+    def test_scan_rows(self, catalog):
+        query = join_query(catalog)
+        plan = build_join_plan()
+        annotate_true_cardinalities(plan, query, catalog)
+        scan_a = plan.children[1]
+        assert scan_a.true_rows == pytest.approx(100_000)
+        assert scan_a.raw_true_rows == pytest.approx(100_000)
+
+    def test_partition_fraction_scales_scan(self, catalog):
+        query = Query(
+            query_id="q",
+            project="p",
+            template_id="t",
+            tables=("a",),
+            partition_fractions={"a": 0.25},
+        )
+        scan = TableScanNode(table="a", n_partitions=2, n_columns=1)
+        annotate_true_cardinalities(scan, query, catalog)
+        assert scan.true_rows == pytest.approx(25_000)
+
+    def test_equality_predicate_selectivity(self, catalog):
+        predicates = (Predicate("a", "x", "=", 0.5),)
+        query = join_query(catalog, predicates)
+        plan = build_join_plan(predicates)
+        annotate_true_cardinalities(plan, query, catalog)
+        scan_a = plan.children[1]
+        # uniform column with ndv=100: selectivity 1/100
+        assert scan_a.true_rows == pytest.approx(1000)
+
+    def test_join_cardinality_formula(self, catalog):
+        query = join_query(catalog)
+        plan = build_join_plan()
+        rows = annotate_true_cardinalities(plan, query, catalog)
+        # |A|*|B| / max(ndv) = 1e5 * 5e4 / 1000
+        assert rows == pytest.approx(5_000_000)
+
+    def test_left_join_preserves_left(self, catalog):
+        query = Query(
+            query_id="q",
+            project="p",
+            template_id="t",
+            tables=("a", "b"),
+            joins=(JoinSpec("a", "k", "b", "k", form="left"),),
+            predicates=(Predicate("a", "x", "=", 0.5),),
+        )
+        scan_a = TableScanNode(table="a", n_columns=2, predicates=query.predicates)
+        scan_b = TableScanNode(table="b", n_columns=1)
+        join = JoinNode(
+            children=[scan_a, scan_b],
+            algorithm="hash",
+            form="left",
+            left_key="a.k",
+            right_key="b.k",
+        )
+        annotate_true_cardinalities(join, query, catalog)
+        assert join.true_rows >= scan_a.true_rows
+
+    def test_group_by_bounded_by_ndv(self, catalog):
+        query = join_query(catalog)
+        plan = build_join_plan()
+        agg = AggregateNode(
+            children=[plan], kind="hash", func="sum", agg_column="a.x", group_by=("a.k",)
+        )
+        annotate_true_cardinalities(agg, query, catalog)
+        assert agg.true_rows <= 1000
+
+    def test_scalar_aggregate_yields_one_row(self, catalog):
+        query = join_query(catalog)
+        agg = AggregateNode(
+            children=[build_join_plan()], kind="hash", func="count", agg_column="a.x"
+        )
+        annotate_true_cardinalities(agg, query, catalog)
+        assert agg.true_rows == 1.0
+
+    def test_n_base_tables_annotation(self, catalog):
+        query = join_query(catalog)
+        plan = build_join_plan()
+        annotate_true_cardinalities(plan, query, catalog)
+        assert plan.n_base_tables == 2
+        assert plan.children[0].n_base_tables == 1
+
+    def test_pass_through_operators(self, catalog):
+        query = join_query(catalog)
+        plan = build_join_plan()
+        wrapped = SortNode(children=[ExchangeNode(children=[plan], mode="shuffle", keys=("a.k",))], keys=("a.k",))
+        annotate_true_cardinalities(wrapped, query, catalog)
+        assert wrapped.true_rows == plan.true_rows
+
+
+class TestEstimatedCardinalities:
+    def test_missing_stats_join_uses_min_heuristic(self, catalog):
+        stats = StatisticsView(catalog, availability=0.0, staleness=0.0)
+        model = EstimatedCardinalityModel(stats)
+        query = join_query(catalog)
+        plan = build_join_plan()
+        rows = model.annotate(plan, query, field="est_rows")
+        # denom = max rows of either side -> output = min side
+        assert rows == pytest.approx(min(plan.children[0].est_rows, plan.children[1].est_rows), rel=0.3)
+
+    def test_cardinality_scale_applies_only_to_3plus_inputs(self, catalog):
+        stats = StatisticsView(catalog, availability=1.0, staleness=0.0)
+        query = join_query(catalog)
+        base = EstimatedCardinalityModel(stats).annotate(
+            build_join_plan(), query, field="est_rows"
+        )
+        scaled = EstimatedCardinalityModel(stats, cardinality_scale=10.0).annotate(
+            build_join_plan(), query, field="est_rows"
+        )
+        assert scaled == pytest.approx(base)  # only 2 inputs: no scaling
+
+    def test_scale_must_be_positive(self, catalog):
+        stats = StatisticsView(catalog, availability=1.0)
+        with pytest.raises(ValueError):
+            EstimatedCardinalityModel(stats, cardinality_scale=0.0)
+
+
+class TestIntrinsicCosts:
+    def test_scan_cost_uses_prefilter_rows(self, catalog):
+        predicates = (Predicate("a", "x", "=", 0.5),)
+        query = join_query(catalog, predicates)
+        plan = build_join_plan(predicates)
+        annotate_true_cardinalities(plan, query, catalog)
+        scan_a = plan.children[1]
+        unfiltered = TableScanNode(table="a", n_partitions=10, n_columns=2)
+        annotate_true_cardinalities(unfiltered, query, catalog)
+        # Filtered scan reads the same rows (plus predicate evaluation).
+        assert intrinsic_node_cost(scan_a) >= intrinsic_node_cost(unfiltered)
+
+    def test_hash_spill_penalty(self):
+        small = JoinNode(algorithm="hash")
+        small.true_rows = 1000.0
+        big_build = TableScanNode(table="a")
+        big_build.true_rows = COST.hash_spill_threshold * 2
+        probe = TableScanNode(table="b")
+        probe.true_rows = 1000.0
+        small.children = [big_build, probe]
+        spilled = intrinsic_node_cost(small)
+        big_build.true_rows = COST.hash_spill_threshold / 2
+        unspilled = intrinsic_node_cost(small)
+        assert spilled > unspilled * COST.hash_spill_penalty
+
+    def test_broadcast_scales_with_instances(self):
+        join = JoinNode(algorithm="broadcast")
+        join.true_rows = 1000.0
+        build = TableScanNode(table="a")
+        build.true_rows = 10_000.0
+        probe = TableScanNode(table="b")
+        join.children = [build, probe]
+        probe.true_rows = COST.rows_per_instance * 8
+        many = intrinsic_node_cost(join)
+        probe.true_rows = COST.rows_per_instance
+        few = intrinsic_node_cost(join)
+        assert many > few
+
+    def test_spool_counted_once(self, catalog):
+        query = join_query(catalog)
+        plan = build_join_plan()
+        spool = SpoolNode(children=[plan], shared_id="s1")
+        agg = AggregateNode(children=[spool], kind="hash", func="sum", agg_column="a.x")
+        annotate_true_cardinalities(agg, query, catalog)
+        total = intrinsic_plan_cost(agg)
+        assert total > 0
+
+    def test_spool_discounts_aggregate_input(self, catalog):
+        query = join_query(catalog)
+        plan = build_join_plan()
+        annotate_true_cardinalities(plan, query, catalog)
+        agg_direct = AggregateNode(children=[plan], kind="hash", func="sum", agg_column="a.x", group_by=("a.k",))
+        annotate_true_cardinalities(agg_direct, query, catalog)
+        direct = intrinsic_node_cost(agg_direct)
+        spool = SpoolNode(children=[plan], shared_id="s")
+        agg_spooled = AggregateNode(children=[spool], kind="hash", func="sum", agg_column="a.x", group_by=("a.k",))
+        annotate_true_cardinalities(agg_spooled, query, catalog)
+        spooled = intrinsic_node_cost(agg_spooled)
+        assert spooled < direct
+
+    def test_stage_parallelism_bounds(self):
+        assert stage_parallelism(1.0) == 1
+        assert stage_parallelism(COST.rows_per_instance * 10) == 10
+        assert stage_parallelism(1e18) == COST.max_instances
+
+    def test_filter_cost_scales_with_predicates(self):
+        child = TableScanNode(table="a")
+        child.true_rows = 1000.0
+        one = FilterNode(children=[child], predicates=(Predicate("a", "x", "=", 0.5),))
+        one.true_rows = 500.0
+        three = FilterNode(
+            children=[child],
+            predicates=tuple(Predicate("a", "x", "=", v) for v in (0.1, 0.5, 0.9)),
+        )
+        three.true_rows = 500.0
+        assert intrinsic_node_cost(three) > intrinsic_node_cost(one)

@@ -1,0 +1,172 @@
+"""Tests for the deviance framework (Section 5, Theorem 1, Appendix E.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.deviance import (
+    DevianceEstimator,
+    LogNormalCost,
+    expected_deviance,
+    expected_minimum,
+    fit_lognormal,
+    kolmogorov_smirnov_pvalue,
+    min_cost_pdf,
+)
+
+_trapz = getattr(np, "trapezoid", None) or np.trapz
+
+lognormal_st = st.builds(
+    LogNormalCost,
+    mu=st.floats(min_value=-1.0, max_value=4.0),
+    sigma=st.floats(min_value=0.05, max_value=0.8),
+)
+
+
+class TestLogNormalCost:
+    def test_mean_formula(self):
+        dist = LogNormalCost(mu=1.0, sigma=0.5)
+        rng = np.random.default_rng(0)
+        samples = dist.sample(200_000, rng)
+        assert samples.mean() == pytest.approx(dist.mean, rel=0.02)
+
+    def test_pdf_integrates_to_one(self):
+        dist = LogNormalCost(mu=0.0, sigma=0.4)
+        grid = np.exp(np.linspace(-4, 4, 4000))
+        assert _trapz(dist.pdf(grid), grid) == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_matches_ppf(self):
+        dist = LogNormalCost(mu=2.0, sigma=0.3)
+        for q in (0.1, 0.5, 0.9):
+            assert dist.cdf(np.array([dist.ppf(q)]))[0] == pytest.approx(q, abs=1e-6)
+
+    def test_nonpositive_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalCost(mu=0.0, sigma=0.0)
+
+    def test_pdf_zero_for_nonpositive_x(self):
+        dist = LogNormalCost(mu=0.0, sigma=1.0)
+        assert dist.pdf(np.array([-1.0, 0.0])).tolist() == [0.0, 0.0]
+
+
+class TestFitting:
+    def test_mle_recovers_parameters(self):
+        rng = np.random.default_rng(1)
+        true = LogNormalCost(mu=3.0, sigma=0.25)
+        fitted = fit_lognormal(true.sample(5000, rng))
+        assert fitted.mu == pytest.approx(3.0, abs=0.02)
+        assert fitted.sigma == pytest.approx(0.25, abs=0.02)
+
+    def test_ks_accepts_lognormal_samples(self):
+        rng = np.random.default_rng(2)
+        samples = LogNormalCost(mu=1.0, sigma=0.3).sample(300, rng)
+        assert kolmogorov_smirnov_pvalue(samples) > 0.05
+
+    def test_ks_rejects_uniform_samples(self):
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(1.0, 2.0, size=2000)
+        assert kolmogorov_smirnov_pvalue(samples) < 0.05
+
+    def test_fit_requires_positive_samples(self):
+        with pytest.raises(ValueError):
+            fit_lognormal(np.array([1.0, -2.0, 3.0]))
+
+    def test_fit_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            fit_lognormal(np.array([1.0]))
+
+
+class TestOrderStatistics:
+    def test_min_pdf_integrates_to_one(self):
+        dists = [LogNormalCost(0.0, 0.3), LogNormalCost(0.5, 0.4), LogNormalCost(-0.2, 0.2)]
+        grid = np.exp(np.linspace(-4, 4, 4000))
+        pdf = min_cost_pdf(dists, grid)
+        assert _trapz(pdf, grid) == pytest.approx(1.0, abs=5e-3)
+
+    def test_expected_minimum_below_each_mean(self):
+        dists = [LogNormalCost(1.0, 0.4), LogNormalCost(1.2, 0.3)]
+        e_min = expected_minimum(dists)
+        assert e_min < min(d.mean for d in dists)
+
+    def test_expected_minimum_single(self):
+        dist = LogNormalCost(1.0, 0.4)
+        assert expected_minimum([dist]) == pytest.approx(dist.mean)
+
+    def test_expected_minimum_monte_carlo_agreement(self):
+        rng = np.random.default_rng(4)
+        dists = [LogNormalCost(1.0, 0.5), LogNormalCost(1.3, 0.2), LogNormalCost(0.8, 0.6)]
+        samples = np.min([d.sample(200_000, rng) for d in dists], axis=0)
+        assert expected_minimum(dists) == pytest.approx(samples.mean(), rel=0.02)
+
+
+class TestExpectedDeviance:
+    def test_zero_without_alternatives(self):
+        assert expected_deviance(LogNormalCost(0.0, 0.3), []) == 0.0
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(5)
+        selected = LogNormalCost(1.2, 0.4)
+        others = [LogNormalCost(1.0, 0.3), LogNormalCost(1.5, 0.5)]
+        x = selected.sample(300_000, rng)
+        y = np.min([d.sample(300_000, rng) for d in others], axis=0)
+        mc = np.maximum(0.0, x - y).mean()
+        assert expected_deviance(selected, others) == pytest.approx(mc, rel=0.03)
+
+    def test_clearly_worse_plan_has_larger_deviance(self):
+        good = LogNormalCost(1.0, 0.2)
+        bad = LogNormalCost(3.0, 0.2)
+        others = [LogNormalCost(1.1, 0.2)]
+        assert expected_deviance(bad, others) > expected_deviance(good, others)
+
+    @settings(max_examples=25, deadline=None)
+    @given(lognormal_st, st.lists(lognormal_st, min_size=1, max_size=4))
+    def test_deviance_nonnegative(self, selected, others):
+        assert expected_deviance(selected, others, n_grid=512) >= 0.0
+
+
+class TestTheorem1:
+    """E[D(M)] >= E[D(M_b)] >= E[D(M_o)] = 0 for any selection rule M."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(lognormal_st, min_size=2, max_size=5))
+    def test_best_achievable_minimizes_deviance(self, dists):
+        estimator = DevianceEstimator(n_samples=4, n_grid=512)
+        report = estimator.report(dists)
+        best = report.best_achievable_deviance
+        for deviance in report.per_plan_deviance:
+            assert deviance >= best - 1e-6  # any fixed selection is >= M_b
+
+    def test_oracle_deviance_is_zero_by_construction(self):
+        # The oracle tracks min per environment; its deviance is identically 0
+        # and every fixed-plan deviance is >= 0 (checked above).  Here we
+        # sanity-check that deviance of the best plan shrinks as it dominates.
+        dominated = [LogNormalCost(0.0, 0.1), LogNormalCost(5.0, 0.1)]
+        report = DevianceEstimator(n_samples=4).report(dominated)
+        assert report.best_achievable_index == 0
+        assert report.best_achievable_deviance < 0.01 * report.oracle_cost
+
+    def test_report_from_samples_pipeline(self):
+        rng = np.random.default_rng(6)
+        sample_costs = [
+            LogNormalCost(1.0, 0.3).sample(40, rng),
+            LogNormalCost(1.5, 0.3).sample(40, rng),
+        ]
+        report = DevianceEstimator(n_samples=10).report_from_samples(sample_costs)
+        assert report.best_achievable_index == 0
+        assert report.oracle_cost > 0
+        assert report.relative_deviance_of(1) > report.relative_deviance_of(0)
+
+    def test_improvement_space_is_relative_default_deviance(self):
+        dists = [LogNormalCost(2.0, 0.3), LogNormalCost(1.0, 0.3)]
+        report = DevianceEstimator(n_samples=4).report(dists)
+        assert report.improvement_space(0) == pytest.approx(
+            report.per_plan_deviance[0] / report.oracle_cost
+        )
+
+    def test_estimator_validates_inputs(self):
+        with pytest.raises(ValueError):
+            DevianceEstimator(n_samples=1)
+        with pytest.raises(ValueError):
+            DevianceEstimator().report([])

@@ -1,0 +1,76 @@
+"""End-to-end tests for the LOAM facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.loam import LOAM, LOAMConfig
+from repro.core.predictor import PredictorConfig
+
+FAST = LOAMConfig(
+    max_training_queries=60,
+    candidate_alignment_queries=8,
+    top_k_candidates=4,
+    flighting_runs=2,
+    predictor=PredictorConfig(hidden_dims=(24, 16), embedding_dim=12, epochs=3),
+)
+
+
+@pytest.fixture(scope="module")
+def trained_loam(project_with_history):
+    loam = LOAM(project_with_history, FAST)
+    loam.train(first_day=0, last_day=2)
+    return loam
+
+
+class TestTraining:
+    def test_trained_flag(self, trained_loam):
+        assert trained_loam.trained
+        assert trained_loam.predictor.report is not None
+
+    def test_environment_fitted_from_history(self, trained_loam):
+        features = trained_loam.environment.features()
+        assert all(0.0 <= f <= 1.0 for f in features)
+
+    def test_untrained_optimize_rejected(self, project_with_history):
+        loam = LOAM(project_with_history, FAST)
+        with pytest.raises(RuntimeError):
+            loam.optimize(project_with_history.sample_query(3))
+
+    def test_train_without_history_rejected(self, small_project):
+        loam = LOAM(small_project, FAST)
+        with pytest.raises(RuntimeError):
+            loam.train()
+
+
+class TestServing:
+    def test_optimize_returns_outcome(self, trained_loam, project_with_history):
+        query = project_with_history.sample_query(3)
+        outcome = trained_loam.optimize(query)
+        assert outcome.chosen_plan in outcome.candidates
+        assert len(outcome.candidates) <= FAST.top_k_candidates
+        assert len(outcome.predicted_costs) == len(outcome.candidates)
+        assert outcome.exploration_seconds > 0
+        assert outcome.inference_seconds > 0
+
+    def test_chosen_plan_minimizes_prediction(self, trained_loam, project_with_history):
+        query = project_with_history.sample_query(3)
+        outcome = trained_loam.optimize(query)
+        chosen_idx = outcome.candidates.index(outcome.chosen_plan)
+        assert chosen_idx == int(np.argmin(outcome.predicted_costs))
+
+    def test_validate_reports(self, trained_loam, project_with_history):
+        queries = [project_with_history.sample_query(3) for _ in range(4)]
+        report = trained_loam.validate(queries)
+        assert report.n_queries == 4
+        assert report.native_average_cost > 0
+        assert report.loam_average_cost > 0
+        assert -5.0 < report.improvement < 1.0
+        assert len(report.per_query_loam) == 4
+
+    def test_suitability_gate(self, trained_loam, project_with_history):
+        queries = [project_with_history.sample_query(3) for _ in range(3)]
+        report = trained_loam.validate(queries)
+        assert report.suitable_for_production(min_improvement=-10.0)
+        assert not report.suitable_for_production(min_improvement=10.0)

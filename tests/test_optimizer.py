@@ -1,0 +1,233 @@
+"""Tests for repro.warehouse.optimizer (the native cost-based optimizer)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.warehouse.catalog import Catalog, Column, Table
+from repro.warehouse.flags import OptimizerFlags
+from repro.warehouse.operators import (
+    AggregateNode,
+    ExchangeNode,
+    JoinNode,
+    SortNode,
+    SpoolNode,
+    TableScanNode,
+)
+from repro.warehouse.optimizer import NativeOptimizer
+from repro.warehouse.query import AggregateSpec, JoinSpec, Predicate, Query
+from repro.warehouse.statistics import StatisticsView
+
+
+def make_catalog(n_tables=4, rows=200_000):
+    tables = []
+    for i in range(n_tables):
+        name = f"t{i}"
+        tables.append(
+            Table(
+                name,
+                n_rows=rows * (i + 1),
+                n_partitions=8,
+                columns=[
+                    Column("pk", name, ndv=rows * (i + 1), skew=0.0),
+                    Column("k", name, ndv=5000, skew=0.3),
+                    Column("x", name, ndv=200, skew=0.8),
+                ],
+            )
+        )
+    return Catalog("p", tables)
+
+
+def chain_query(n=3, predicates=(), aggregate=None):
+    tables = tuple(f"t{i}" for i in range(n))
+    joins = tuple(JoinSpec(f"t{i}", "k", f"t{i+1}", "k") for i in range(n - 1))
+    return Query(
+        query_id="q",
+        project="p",
+        template_id="tpl",
+        tables=tables,
+        joins=joins,
+        predicates=predicates,
+        aggregate=aggregate,
+    )
+
+
+def optimizer_with(availability, catalog=None):
+    catalog = catalog or make_catalog()
+    stats = StatisticsView(
+        catalog, availability=availability, staleness=0.0, rng=np.random.default_rng(0)
+    )
+    return NativeOptimizer(catalog, stats), catalog
+
+
+class TestPlanShape:
+    def test_single_table_scan(self):
+        opt, _ = optimizer_with(1.0)
+        query = Query(query_id="q", project="p", template_id="t", tables=("t0",))
+        plan = opt.optimize(query)
+        assert plan.root.op_type == "TableScan"
+        assert plan.is_default
+
+    def test_join_count_matches_query(self):
+        opt, _ = optimizer_with(1.0)
+        plan = opt.optimize(chain_query(4))
+        joins = [n for n in plan.iter_nodes() if isinstance(n, JoinNode)]
+        assert len(joins) == 3
+
+    def test_every_table_scanned_once(self):
+        opt, _ = optimizer_with(0.0)
+        plan = opt.optimize(chain_query(4))
+        scans = [n for n in plan.iter_nodes() if isinstance(n, TableScanNode)]
+        assert sorted(s.table for s in scans) == ["t0", "t1", "t2", "t3"]
+
+    def test_predicates_pushed_into_scans(self):
+        opt, _ = optimizer_with(1.0)
+        predicates = (Predicate("t0", "x", "=", 0.5),)
+        plan = opt.optimize(chain_query(2, predicates=predicates))
+        scan_t0 = next(
+            n for n in plan.iter_nodes() if isinstance(n, TableScanNode) and n.table == "t0"
+        )
+        assert any(p.column == "x" for p in scan_t0.predicates)
+
+    def test_aggregation_on_top(self):
+        opt, _ = optimizer_with(1.0)
+        agg = AggregateSpec("sum", "t0", "x", group_by=("t0.k",))
+        plan = opt.optimize(chain_query(2, aggregate=agg))
+        assert isinstance(plan.root, AggregateNode)
+
+    def test_est_rows_annotated(self):
+        opt, _ = optimizer_with(0.5)
+        plan = opt.optimize(chain_query(3))
+        assert all(n.est_rows >= 1.0 for n in plan.iter_nodes())
+
+
+class TestStatisticsDependence:
+    def test_no_stats_keeps_syntactic_order(self):
+        opt, _ = optimizer_with(0.0)
+        plan = opt.optimize(chain_query(4))
+        # Left-deep syntactic: deepest scan pair must be (t0, t1).
+        deepest_join = None
+        for node in plan.iter_postorder():
+            if isinstance(node, JoinNode):
+                deepest_join = node
+                break
+        tables = {
+            n.table for n in deepest_join.iter_nodes() if isinstance(n, TableScanNode)
+        }
+        assert tables == {"t0", "t1"}
+
+    def test_stats_enable_reordering_possible(self):
+        # With full statistics the optimizer is free to reorder; the chosen
+        # plan must never be *estimated* worse than the syntactic one.
+        opt, _ = optimizer_with(1.0)
+        plan_stats = opt.optimize(chain_query(4))
+        opt_blind, _ = optimizer_with(0.0)
+        plan_blind = opt_blind.optimize(chain_query(4))
+        assert opt.estimated_cost(plan_stats) <= opt.estimated_cost(plan_blind) * 1.01
+
+
+class TestFlags:
+    def test_prefer_merge_join_forces_merge(self):
+        opt, _ = optimizer_with(0.0)
+        plan = opt.optimize(
+            chain_query(3), flags=OptimizerFlags(prefer_merge_join=True, disable_broadcast_join=True)
+        )
+        joins = [n for n in plan.iter_nodes() if isinstance(n, JoinNode)]
+        assert all(j.algorithm == "merge" for j in joins)
+        assert any(isinstance(n, SortNode) for n in plan.iter_nodes())
+
+    def test_disable_broadcast(self):
+        catalog = make_catalog(rows=1000)  # small tables: broadcast attractive
+        opt, _ = optimizer_with(1.0, catalog)
+        default = opt.optimize(chain_query(3))
+        has_broadcast = any(
+            isinstance(n, JoinNode) and n.algorithm == "broadcast" for n in default.iter_nodes()
+        )
+        assert has_broadcast
+        steered = opt.optimize(chain_query(3), flags=OptimizerFlags(disable_broadcast_join=True))
+        assert not any(
+            isinstance(n, JoinNode) and n.algorithm == "broadcast" for n in steered.iter_nodes()
+        )
+
+    def test_enable_spool_inserts_spool(self):
+        opt, _ = optimizer_with(0.0)
+        agg = AggregateSpec("sum", "t0", "x", group_by=("t0.k",))
+        plan = opt.optimize(chain_query(2, aggregate=agg), flags=OptimizerFlags(enable_spool=True))
+        assert any(isinstance(n, SpoolNode) for n in plan.iter_nodes())
+
+    def test_partial_aggregation_flag(self):
+        opt, _ = optimizer_with(0.0)
+        agg = AggregateSpec("sum", "t0", "x", group_by=("t0.k",))
+        plan = opt.optimize(
+            chain_query(2, aggregate=agg), flags=OptimizerFlags(partial_aggregation=True)
+        )
+        partials = [
+            n for n in plan.iter_nodes() if isinstance(n, AggregateNode) and n.partial
+        ]
+        assert len(partials) == 1
+
+    def test_join_filter_pushdown_adds_derived_predicate(self):
+        opt, _ = optimizer_with(0.0)
+        predicates = (Predicate("t0", "x", "=", 0.5),)
+        steered = opt.optimize(
+            chain_query(2, predicates=predicates),
+            flags=OptimizerFlags(join_filter_pushdown=True),
+        )
+        scan_t1 = next(
+            n for n in steered.iter_nodes() if isinstance(n, TableScanNode) and n.table == "t1"
+        )
+        assert any(p.column == "k" for p in scan_t1.predicates)
+
+    def test_derived_filter_bounded(self):
+        opt, _ = optimizer_with(0.0)
+        predicates = (Predicate("t0", "x", "=", 0.01),)
+        steered = opt.optimize(
+            chain_query(2, predicates=predicates),
+            flags=OptimizerFlags(join_filter_pushdown=True),
+        )
+        scan_t1 = next(
+            n for n in steered.iter_nodes() if isinstance(n, TableScanNode) and n.table == "t1"
+        )
+        derived = [p for p in scan_t1.predicates if p.column == "k"]
+        assert derived and derived[0].value >= 0.5
+
+    def test_shuffle_removal_drops_exchange(self):
+        opt, _ = optimizer_with(0.0)
+        agg = AggregateSpec("sum", "t0", "x", group_by=("t0.k",))
+        query = chain_query(2, aggregate=agg)
+        base = opt.optimize(query, flags=OptimizerFlags(disable_broadcast_join=True))
+        steered = opt.optimize(
+            query,
+            flags=OptimizerFlags(disable_broadcast_join=True, shuffle_removal=True),
+        )
+        n_ex_base = sum(1 for n in base.iter_nodes() if isinstance(n, ExchangeNode))
+        n_ex_steered = sum(1 for n in steered.iter_nodes() if isinstance(n, ExchangeNode))
+        assert n_ex_steered < n_ex_base
+
+    def test_flag_plans_carry_provenance(self):
+        opt, _ = optimizer_with(0.0)
+        plan = opt.optimize(
+            chain_query(2),
+            flags=OptimizerFlags(prefer_merge_join=True),
+            provenance="flag:prefer_merge_join",
+        )
+        assert plan.provenance == "flag:prefer_merge_join"
+        assert not plan.is_default
+
+    def test_toggled_unknown_flag_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizerFlags().toggled("nope")
+
+
+class TestCardinalityScaling:
+    def test_without_stats_scaling_cannot_reorder(self):
+        opt, _ = optimizer_with(0.0)
+        default = opt.optimize(chain_query(4))
+        scaled = opt.optimize(chain_query(4), cardinality_scale=0.1)
+        assert default.structural_signature() == scaled.structural_signature()
+
+    def test_estimated_cost_positive(self):
+        opt, _ = optimizer_with(0.5)
+        plan = opt.optimize(chain_query(3))
+        assert opt.estimated_cost(plan) > 0

@@ -1,0 +1,74 @@
+"""Tests for the Lero-style pairwise comparator extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pairwise import PairwiseComparator
+
+
+@pytest.fixture(scope="module")
+def trained_comparator(project_with_history):
+    records = project_with_history.repository.deduplicated()[:60]
+    comparator = PairwiseComparator(
+        hidden_dims=(24, 16), embedding_dim=12, epochs=6, pairs_per_epoch=512
+    )
+    comparator.fit([r.plan for r in records], [r.cpu_cost for r in records])
+    return comparator, records
+
+
+class TestPairwiseComparator:
+    def test_antisymmetry_by_construction(self, trained_comparator):
+        comparator, records = trained_comparator
+        a, b = records[0].plan, records[1].plan
+        p_ab = comparator.pairwise_probability(a, b)
+        p_ba = comparator.pairwise_probability(b, a)
+        assert p_ab + p_ba == pytest.approx(1.0, abs=1e-6)
+
+    def test_orders_extreme_cost_pairs(self, trained_comparator):
+        comparator, records = trained_comparator
+        ordered = sorted(records, key=lambda r: r.cpu_cost)
+        cheap, expensive = ordered[0], ordered[-1]
+        assert expensive.cpu_cost > 5 * cheap.cpu_cost  # a decisive pair
+        assert comparator.pairwise_probability(expensive.plan, cheap.plan) > 0.5
+
+    def test_pairwise_accuracy_above_chance(self, trained_comparator):
+        comparator, records = trained_comparator
+        rng = np.random.default_rng(0)
+        correct = total = 0
+        for _ in range(40):
+            a, b = rng.choice(len(records), size=2, replace=False)
+            ra, rb = records[a], records[b]
+            if max(ra.cpu_cost, rb.cpu_cost) < 2 * min(ra.cpu_cost, rb.cpu_cost):
+                continue
+            prob = comparator.pairwise_probability(ra.plan, rb.plan)
+            correct += (prob > 0.5) == (ra.cpu_cost > rb.cpu_cost)
+            total += 1
+        assert total > 5
+        assert correct / total > 0.6
+
+    def test_select_best_tournament(self, trained_comparator):
+        comparator, records = trained_comparator
+        plans = [r.plan for r in records[:5]]
+        best, scores = comparator.select_best(plans)
+        assert best in plans
+        assert scores.shape == (5,)
+        assert int(np.argmin(scores)) == plans.index(best)
+
+    def test_predict_adapter_shape(self, trained_comparator):
+        comparator, records = trained_comparator
+        scores = comparator.predict([r.plan for r in records[:4]])
+        assert scores.shape == (4,)
+
+    def test_untrained_rejected(self, project_with_history):
+        comparator = PairwiseComparator()
+        record = project_with_history.repository.records[0]
+        with pytest.raises(RuntimeError):
+            comparator.select_best([record.plan])
+
+    def test_fit_requires_two_plans(self, project_with_history):
+        comparator = PairwiseComparator()
+        record = project_with_history.repository.records[0]
+        with pytest.raises(ValueError):
+            comparator.fit([record.plan], [record.cpu_cost])

@@ -1,0 +1,110 @@
+"""Tests for repository/plan/query persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.warehouse.persistence import (
+    iter_records,
+    load_repository,
+    plan_from_dict,
+    plan_to_dict,
+    query_from_dict,
+    query_to_dict,
+    record_from_dict,
+    record_to_dict,
+    save_repository,
+)
+
+
+class TestQueryRoundTrip:
+    def test_signature_preserved(self, project_with_history):
+        query = project_with_history.repository.records[0].plan.query
+        restored = query_from_dict(query_to_dict(query))
+        assert restored.signature() == query.signature()
+
+    def test_aggregate_preserved(self, project_with_history):
+        for record in project_with_history.repository.records[:30]:
+            query = record.plan.query
+            restored = query_from_dict(query_to_dict(query))
+            assert restored.aggregate == query.aggregate
+
+
+class TestPlanRoundTrip:
+    def test_structure_preserved(self, project_with_history):
+        for record in project_with_history.repository.records[:20]:
+            restored = plan_from_dict(plan_to_dict(record.plan))
+            assert restored.structural_signature() == record.plan.structural_signature()
+
+    def test_annotations_preserved(self, project_with_history):
+        record = project_with_history.repository.records[0]
+        restored = plan_from_dict(plan_to_dict(record.plan))
+        for original, copy in zip(record.plan.iter_nodes(), restored.iter_nodes()):
+            assert copy.true_rows == original.true_rows
+            assert copy.stage_id == original.stage_id
+            assert copy.env == original.env
+
+    def test_provenance_preserved(self, small_project):
+        from repro.core.explorer import PlanExplorer
+
+        explorer = PlanExplorer(small_project.optimizer)
+        for plan in explorer.candidates(small_project.sample_query(0)):
+            restored = plan_from_dict(plan_to_dict(plan))
+            assert restored.provenance == plan.provenance
+
+    def test_unknown_node_type_rejected(self):
+        with pytest.raises(ValueError):
+            plan_from_dict(
+                {
+                    "query": None,
+                    "provenance": "default",
+                    "root": {"type": "Bogus", "kwargs": {}, "est_rows": 0,
+                             "true_rows": 0, "stage_id": 0, "env": None, "children": []},
+                }
+            )
+
+
+class TestRecordAndRepository:
+    def test_record_round_trip(self, project_with_history):
+        record = project_with_history.repository.records[0]
+        restored = record_from_dict(record_to_dict(record))
+        assert restored.cpu_cost == record.cpu_cost
+        assert restored.latency == record.latency
+        assert restored.n_stages == record.n_stages
+        assert restored.stages[0].environment == record.stages[0].environment
+
+    def test_repository_round_trip(self, project_with_history, tmp_path):
+        path = save_repository(project_with_history.repository, tmp_path / "repo.jsonl")
+        restored = load_repository(path)
+        assert len(restored) == len(project_with_history.repository)
+        assert restored.project == project_with_history.profile.name
+        originals = project_with_history.repository.records
+        copies = restored.records
+        assert [r.cpu_cost for r in copies] == [r.cpu_cost for r in originals]
+
+    def test_restored_records_train_a_predictor(self, project_with_history, tmp_path):
+        """The persisted repository must be a drop-in training source."""
+        from repro.core.predictor import AdaptiveCostPredictor, PredictorConfig
+
+        path = save_repository(project_with_history.repository, tmp_path / "repo.jsonl")
+        restored = load_repository(path)
+        records = restored.deduplicated()[:30]
+        predictor = AdaptiveCostPredictor(
+            config=PredictorConfig(hidden_dims=(16, 12), embedding_dim=8, epochs=2)
+        )
+        predictor.fit([r.plan for r in records], [r.cpu_cost for r in records])
+        preds = predictor.predict([records[0].plan])
+        assert np.isfinite(preds).all()
+
+    def test_iter_records_streams(self, project_with_history, tmp_path):
+        path = save_repository(project_with_history.repository, tmp_path / "repo.jsonl")
+        count = sum(1 for _ in iter_records(path))
+        assert count == len(project_with_history.repository)
+
+    def test_load_empty_without_project_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            load_repository(empty)
+        assert len(load_repository(empty, project="p")) == 0

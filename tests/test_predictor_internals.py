@@ -1,0 +1,112 @@
+"""Internal behaviour of the adaptive cost predictor's components."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import PlanEncoder
+from repro.core.predictor import (
+    AdaptiveCostPredictor,
+    PredictorConfig,
+    _PredictiveModule,
+    _softplus,
+)
+from repro.nn.autodiff import Tensor
+from repro.warehouse.operators import SpoolNode
+
+
+class TestSoftplus:
+    def test_matches_reference(self):
+        x = np.linspace(-20, 20, 101)
+        out = _softplus(Tensor(x)).data
+        reference = np.logaddexp(0.0, x)
+        assert np.allclose(out, reference, atol=1e-10)
+
+    def test_stable_for_large_inputs(self):
+        out = _softplus(Tensor(np.array([1e4, -1e4]))).data
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(1e4)
+        assert out[1] == pytest.approx(0.0, abs=1e-10)
+
+    def test_gradient_is_sigmoid(self):
+        # x = 0 is excluded: the relu-based composition has a (harmless)
+        # subgradient of 0 exactly at the kink.
+        x = Tensor.param(np.array([-2.0, 0.5, 3.0]))
+        _softplus(x).sum().backward()
+        assert np.allclose(x.grad, 1.0 / (1.0 + np.exp(-x.data)))
+
+
+class TestLabelTransform:
+    def test_round_trip(self):
+        predictor = AdaptiveCostPredictor(config=PredictorConfig(epochs=1))
+        predictor._log_mean, predictor._log_std = 10.0, 2.0
+        costs = np.array([1e3, 1e5, 1e7])
+        assert np.allclose(predictor._from_target(predictor._to_target(costs)), costs)
+
+    def test_set_label_transform_initializes_scale(self):
+        config = PredictorConfig(epochs=1)
+        module = _PredictiveModule(16, config, np.random.default_rng(0))
+        module.set_label_transform(12.0, 2.0, typical_nodes=20.0)
+        # With w ~= 0 contributions sum to ~0.7 * n; the initial prediction
+        # should land within a couple of z units of the label mean.
+        assert module.log_scale.data[0] == pytest.approx(12.0 - np.log1p(14.0))
+
+
+class TestNodeSumSensitivity:
+    def test_structural_edit_changes_prediction(self, project_with_history):
+        """The additive cost head must react to a single inserted operator —
+        the property that makes candidate ranking possible."""
+        records = project_with_history.repository.deduplicated()[:60]
+        predictor = AdaptiveCostPredictor(
+            config=PredictorConfig(hidden_dims=(24, 16), embedding_dim=12, epochs=4)
+        )
+        predictor.fit([r.plan for r in records], [r.cpu_cost for r in records])
+        plan = records[0].plan.clone()
+        edited = records[0].plan.clone()
+        edited.root = SpoolNode(children=[edited.root], shared_id="synthetic")
+        base, changed = predictor.predict(
+            [plan, edited], env_features=(0.5, 0.05, 0.5, 0.5)
+        )
+        assert base != changed
+
+    def test_pooled_head_variant_runs(self, project_with_history):
+        records = project_with_history.repository.deduplicated()[:40]
+        predictor = AdaptiveCostPredictor(
+            config=PredictorConfig(
+                hidden_dims=(16, 12), embedding_dim=8, epochs=2, cost_head="pooled"
+            )
+        )
+        predictor.fit([r.plan for r in records], [r.cpu_cost for r in records])
+        preds = predictor.predict([r.plan for r in records[:5]])
+        assert np.isfinite(preds).all()
+
+    def test_invalid_cost_head_rejected(self):
+        with pytest.raises(ValueError):
+            PredictorConfig(cost_head="banana")
+
+
+class TestEnvironmentAblationVariant:
+    def test_nl_variant_ignores_env_features(self, project_with_history):
+        records = project_with_history.repository.deduplicated()[:40]
+        predictor = AdaptiveCostPredictor(
+            config=PredictorConfig(
+                hidden_dims=(16, 12), embedding_dim=8, epochs=2, use_environment=False
+            )
+        )
+        predictor.fit([r.plan for r in records], [r.cpu_cost for r in records])
+        plans = [r.plan for r in records[:5]]
+        idle = predictor.predict(plans, env_features=(1.0, 0.0, 0.0, 0.0))
+        busy = predictor.predict(plans, env_features=(0.0, 0.9, 1.0, 1.0))
+        assert np.allclose(idle, busy)
+
+    def test_env_aware_variant_reacts(self, project_with_history):
+        records = project_with_history.repository.deduplicated()[:40]
+        predictor = AdaptiveCostPredictor(
+            config=PredictorConfig(hidden_dims=(16, 12), embedding_dim=8, epochs=3)
+        )
+        predictor.fit([r.plan for r in records], [r.cpu_cost for r in records])
+        plans = [r.plan for r in records[:5]]
+        idle = predictor.predict(plans, env_features=(1.0, 0.0, 0.0, 0.0))
+        busy = predictor.predict(plans, env_features=(0.0, 0.9, 1.0, 1.0))
+        assert not np.allclose(idle, busy)

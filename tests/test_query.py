@@ -1,0 +1,160 @@
+"""Tests for repro.warehouse.query."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.warehouse.query import AggregateSpec, JoinSpec, Predicate, Query, QueryTemplate
+
+
+def make_query(**overrides):
+    defaults = dict(
+        query_id="q1",
+        project="p",
+        template_id="tpl",
+        tables=("a", "b"),
+        joins=(JoinSpec("a", "k", "b", "k"),),
+        predicates=(Predicate("a", "x", "=", 0.3),),
+        partition_fractions={"a": 0.5, "b": 1.0},
+    )
+    defaults.update(overrides)
+    return Query(**defaults)
+
+
+class TestPredicate:
+    def test_valid(self):
+        p = Predicate("t", "c", "<", 0.4)
+        assert p.qualified_column == "t.c"
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("t", "c", "??", 0.4)
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("t", "c", "=", 1.5)
+
+
+class TestJoinSpec:
+    def test_touches_and_column_for(self):
+        j = JoinSpec("a", "k1", "b", "k2")
+        assert j.touches("a") and j.touches("b") and not j.touches("c")
+        assert j.column_for("a") == "k1"
+        assert j.column_for("b") == "k2"
+        with pytest.raises(KeyError):
+            j.column_for("c")
+
+    def test_self_join_rejected(self):
+        with pytest.raises(ValueError):
+            JoinSpec("a", "k", "a", "k")
+
+    def test_bad_form_rejected(self):
+        with pytest.raises(ValueError):
+            JoinSpec("a", "k", "b", "k", form="cross")
+
+
+class TestQueryValidation:
+    def test_valid_query(self):
+        q = make_query()
+        assert q.n_tables == 2
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(ValueError):
+            make_query(tables=(), joins=(), predicates=())
+
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(ValueError):
+            make_query(tables=("a", "a"))
+
+    def test_join_outside_query_rejected(self):
+        with pytest.raises(ValueError):
+            make_query(joins=(JoinSpec("a", "k", "c", "k"),))
+
+    def test_predicate_outside_query_rejected(self):
+        with pytest.raises(ValueError):
+            make_query(predicates=(Predicate("z", "x", "=", 0.1),))
+
+    def test_disconnected_join_graph_rejected(self):
+        with pytest.raises(ValueError):
+            Query(
+                query_id="q",
+                project="p",
+                template_id="t",
+                tables=("a", "b", "c"),
+                joins=(JoinSpec("a", "k", "b", "k"),),  # c unconnected
+            )
+
+    def test_single_table_needs_no_joins(self):
+        q = make_query(tables=("a",), joins=(), predicates=())
+        assert q.n_tables == 1
+
+
+class TestQueryHelpers:
+    def test_predicates_on(self):
+        q = make_query()
+        assert len(q.predicates_on("a")) == 1
+        assert q.predicates_on("b") == ()
+
+    def test_joins_between(self):
+        q = make_query()
+        specs = q.joins_between(frozenset(["a"]), frozenset(["b"]))
+        assert len(specs) == 1
+
+    def test_partition_fraction_default(self):
+        q = make_query(partition_fractions={})
+        assert q.partition_fraction("a") == 1.0
+
+    def test_signature_ignores_query_id(self):
+        a = make_query(query_id="q1")
+        b = make_query(query_id="q2")
+        assert a.signature() == b.signature()
+
+    def test_signature_sensitive_to_predicates(self):
+        a = make_query()
+        b = make_query(predicates=(Predicate("a", "x", "=", 0.9),))
+        assert a.signature() != b.signature()
+
+
+class TestQueryTemplate:
+    def make_template(self):
+        return QueryTemplate(
+            template_id="tpl",
+            project="p",
+            tables=("a", "b"),
+            joins=(JoinSpec("a", "k", "b", "k"),),
+            predicate_columns=(("a", "x", "="), ("b", "y", "<")),
+            aggregate=AggregateSpec("sum", "a", "x", group_by=("a.k",)),
+        )
+
+    def test_instantiate_structure_fixed(self):
+        rng = np.random.default_rng(0)
+        tpl = self.make_template()
+        q1 = tpl.instantiate("q1", rng)
+        q2 = tpl.instantiate("q2", rng)
+        assert q1.tables == q2.tables
+        assert q1.joins == q2.joins
+        assert q1.aggregate == q2.aggregate
+
+    def test_instantiate_parameters_vary(self):
+        rng = np.random.default_rng(0)
+        tpl = self.make_template()
+        q1 = tpl.instantiate("q1", rng)
+        q2 = tpl.instantiate("q2", rng)
+        assert q1.predicates != q2.predicates
+
+    def test_instantiate_reproducible(self):
+        tpl = self.make_template()
+        q1 = tpl.instantiate("q", np.random.default_rng(5))
+        q2 = tpl.instantiate("q", np.random.default_rng(5))
+        assert q1.signature() == q2.signature()
+
+    def test_partition_fractions_in_range(self):
+        tpl = self.make_template()
+        q = tpl.instantiate("q", np.random.default_rng(1))
+        for table in q.tables:
+            assert 0.05 <= q.partition_fraction(table) <= 1.0
+
+    def test_bad_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateSpec("median", "a", "x")

@@ -1,0 +1,71 @@
+"""Tests for predictor save/load round-tripping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import AdaptiveCostPredictor, PredictorConfig
+from repro.core.serialization import load_predictor, save_predictor
+
+TINY = PredictorConfig(hidden_dims=(16, 12), embedding_dim=8, epochs=3)
+
+
+@pytest.fixture(scope="module")
+def trained(project_with_history):
+    records = project_with_history.repository.deduplicated()[:40]
+    predictor = AdaptiveCostPredictor(config=TINY)
+    predictor.fit([r.plan for r in records], [r.cpu_cost for r in records])
+    return predictor, [r.plan for r in records[:8]]
+
+
+class TestRoundTrip:
+    def test_predictions_identical_after_reload(self, trained, tmp_path):
+        predictor, plans = trained
+        path = save_predictor(predictor, tmp_path / "model.npz")
+        loaded, env = load_predictor(path)
+        original = predictor.predict(plans, env_features=(0.5, 0.05, 0.5, 0.5))
+        restored = loaded.predict(plans, env_features=(0.5, 0.05, 0.5, 0.5))
+        assert np.allclose(original, restored)
+        assert env is None
+
+    def test_environment_features_persisted(self, trained, tmp_path):
+        predictor, _ = trained
+        features = (0.6, 0.04, 0.45, 0.55)
+        path = save_predictor(predictor, tmp_path / "m", environment_features=features)
+        assert path.suffix == ".npz"
+        _, env = load_predictor(path)
+        assert env == pytest.approx(features)
+
+    def test_config_round_trips(self, trained, tmp_path):
+        predictor, _ = trained
+        path = save_predictor(predictor, tmp_path / "model.npz")
+        loaded, _ = load_predictor(path)
+        assert loaded.config == predictor.config
+        assert loaded.encoder.dim == predictor.encoder.dim
+
+    def test_label_transform_round_trips(self, trained, tmp_path):
+        predictor, _ = trained
+        path = save_predictor(predictor, tmp_path / "model.npz")
+        loaded, _ = load_predictor(path)
+        assert loaded._log_mean == predictor._log_mean
+        assert loaded._log_std == predictor._log_std
+
+    def test_corrupted_shape_rejected(self, trained, tmp_path):
+        predictor, _ = trained
+        path = save_predictor(predictor, tmp_path / "model.npz")
+        other = AdaptiveCostPredictor(
+            config=PredictorConfig(hidden_dims=(8,), embedding_dim=4, epochs=1)
+        )
+        import json
+
+        import numpy as np_
+
+        with np_.load(path) as archive:
+            meta = json.loads(str(archive["meta"]))
+        meta["config"]["hidden_dims"] = [8]
+        meta["config"]["embedding_dim"] = 4
+        arrays = {f"param_{i}": p.data for i, p in enumerate(predictor.module.parameters())}
+        np_.savez_compressed(path, meta=json.dumps(meta), **arrays)
+        with pytest.raises(ValueError):
+            load_predictor(path)

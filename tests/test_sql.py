@@ -1,0 +1,149 @@
+"""Tests for the SQL front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.warehouse.sql import SqlSyntaxError, format_sql, parse_sql
+
+
+class TestParseBasics:
+    def test_single_table(self):
+        query = parse_sql("SELECT * FROM t0")
+        assert query.tables == ("t0",)
+        assert query.joins == ()
+        assert query.aggregate is None
+
+    def test_inner_join(self):
+        query = parse_sql("SELECT * FROM t0 JOIN t1 ON t0.k = t1.pk")
+        assert query.tables == ("t0", "t1")
+        assert query.joins[0].form == "inner"
+        assert query.joins[0].left_column == "k"
+        assert query.joins[0].right_column == "pk"
+
+    def test_outer_join_forms(self):
+        for keyword, form in (
+            ("LEFT JOIN", "left"),
+            ("LEFT OUTER JOIN", "left"),
+            ("RIGHT JOIN", "right"),
+            ("FULL JOIN", "full"),
+            ("INNER JOIN", "inner"),
+        ):
+            query = parse_sql(f"SELECT * FROM t0 {keyword} t1 ON t0.k = t1.k")
+            assert query.joins[0].form == form
+
+    def test_where_predicates(self):
+        query = parse_sql(
+            "SELECT * FROM t0 WHERE t0.a = 0.3 AND t0.b < 0.5 AND t0.c != 0.9"
+        )
+        assert [(p.column, p.op, p.value) for p in query.predicates] == [
+            ("a", "=", 0.3),
+            ("b", "<", 0.5),
+            ("c", "!=", 0.9),
+        ]
+
+    def test_between_and_like(self):
+        query = parse_sql("SELECT * FROM t0 WHERE t0.a BETWEEN 0.4 AND t0.b LIKE 0.2")
+        assert query.predicates[0].op == "between"
+        assert query.predicates[1].op == "like"
+
+    def test_diamond_operator_normalized(self):
+        query = parse_sql("SELECT * FROM t0 WHERE t0.a <> 0.2")
+        assert query.predicates[0].op == "!="
+
+    def test_aggregate_with_group_by(self):
+        query = parse_sql(
+            "SELECT SUM(t0.x) FROM t0 JOIN t1 ON t0.k = t1.k GROUP BY t0.k"
+        )
+        assert query.aggregate is not None
+        assert query.aggregate.func == "sum"
+        assert query.aggregate.agg_column == "x"
+        assert query.aggregate.group_by == ("t0.k",)
+
+    def test_scalar_aggregate(self):
+        query = parse_sql("SELECT COUNT(t0.pk) FROM t0")
+        assert query.aggregate.func == "count"
+        assert query.aggregate.group_by == ()
+
+    def test_tablesample_maps_to_partition_fraction(self):
+        query = parse_sql("SELECT * FROM t0 TABLESAMPLE (25 PERCENT)")
+        assert query.partition_fraction("t0") == pytest.approx(0.25)
+
+    def test_case_insensitive_keywords(self):
+        query = parse_sql("select sum(t0.x) from t0 join t1 on t0.k = t1.k group by t0.k")
+        assert query.aggregate.func == "sum"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT FROM t0",
+            "SELECT * FROM",
+            "SELECT * FROM t0 JOIN t1",  # missing ON
+            "SELECT * FROM t0 WHERE t0.a",  # missing comparison
+            "SELECT * FROM t0 GROUP BY t0.k",  # group by without aggregate
+            "SELECT MEDIAN(t0.x) FROM t0",  # unsupported function
+            "SELECT * FROM t0 JOIN t0 ON t0.a = t0.b",  # duplicate table
+            "SELECT * FROM t0 TABLESAMPLE (200 PERCENT)",
+            "SELECT * FROM t0 WHERE t0.a = 1.5",  # out-of-range parameter
+            "SELECT * FROM t0; DROP TABLE t0",  # unknown character
+        ],
+    )
+    def test_rejected(self, sql):
+        with pytest.raises((SqlSyntaxError, ValueError)):
+            parse_sql(sql)
+
+    def test_error_mentions_offset(self):
+        with pytest.raises(SqlSyntaxError, match="offset"):
+            parse_sql("SELECT * FROM t0 WHERE t0.a")
+
+
+class TestRoundTrip:
+    def test_format_then_parse_stable(self):
+        sql = (
+            "SELECT AVG(t1.x) FROM t0 TABLESAMPLE (50 PERCENT) "
+            "JOIN t1 ON t0.k = t1.pk LEFT JOIN t2 ON t1.j = t2.j "
+            "WHERE t0.a = 0.25 AND t2.b < 0.75 GROUP BY t0.k"
+        )
+        query = parse_sql(sql)
+        rendered = format_sql(query)
+        reparsed = parse_sql(rendered)
+        assert reparsed.tables == query.tables
+        assert reparsed.joins == query.joins
+        assert reparsed.predicates == query.predicates
+        assert reparsed.aggregate == query.aggregate
+        assert reparsed.partition_fractions == pytest.approx(query.partition_fractions)
+
+    def test_generated_queries_round_trip(self, small_project):
+        """Every workload-generated query must serialize and re-parse."""
+        for day in range(2):
+            query = small_project.sample_query(day)
+            sql = format_sql(query)
+            reparsed = parse_sql(sql)
+            assert reparsed.tables == query.tables
+            assert reparsed.joins == query.joins
+            assert len(reparsed.predicates) == len(query.predicates)
+
+    def test_parsed_query_optimizable(self, small_project):
+        """SQL -> Query -> plan, end to end through the native optimizer."""
+        tables = [t.name for t in small_project.catalog.tables[:2]]
+        key = small_project.catalog.table(tables[0]).columns[1].name
+        sql = f"SELECT * FROM {tables[0]} JOIN {tables[1]} ON {tables[0]}.{key} = {tables[1]}.pk"
+        query = parse_sql(sql, project=small_project.profile.name)
+        plan = small_project.optimizer.optimize(query)
+        assert plan.n_nodes >= 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=1.0).map(lambda v: round(v, 4)),
+        st.sampled_from(["=", "<", ">", "!="]),
+    )
+    def test_predicate_values_survive_round_trip(self, value, op):
+        sql = f"SELECT * FROM t0 WHERE t0.a {op if op != '!=' else '!='} {value}"
+        query = parse_sql(sql)
+        reparsed = parse_sql(format_sql(query))
+        assert reparsed.predicates[0].value == pytest.approx(value, abs=1e-9)
+        assert reparsed.predicates[0].op == op

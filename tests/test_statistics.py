@@ -1,0 +1,107 @@
+"""Tests for repro.warehouse.statistics (challenge C2 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.warehouse.catalog import Catalog, Column, Table
+from repro.warehouse.statistics import DEFAULT_SELECTIVITY, StatisticsView
+
+
+@pytest.fixture()
+def catalog():
+    tables = [
+        Table(
+            f"t{i}",
+            n_rows=10_000,
+            n_partitions=4,
+            columns=[Column("k", f"t{i}", ndv=500, skew=0.5)],
+        )
+        for i in range(20)
+    ]
+    return Catalog("p", tables)
+
+
+class TestAvailability:
+    def test_zero_availability_means_no_column_stats(self, catalog):
+        view = StatisticsView(catalog, availability=0.0, rng=np.random.default_rng(0))
+        assert not any(view.has_column_stats(t.name) for t in catalog.tables)
+
+    def test_full_availability(self, catalog):
+        view = StatisticsView(catalog, availability=1.0, rng=np.random.default_rng(0))
+        assert all(view.has_column_stats(t.name) for t in catalog.tables)
+
+    def test_partial_availability_mixes(self, catalog):
+        view = StatisticsView(catalog, availability=0.5, rng=np.random.default_rng(1))
+        have = [view.has_column_stats(t.name) for t in catalog.tables]
+        assert any(have) and not all(have)
+
+    def test_deterministic_given_rng(self, catalog):
+        a = StatisticsView(catalog, availability=0.5, rng=np.random.default_rng(7))
+        b = StatisticsView(catalog, availability=0.5, rng=np.random.default_rng(7))
+        for t in catalog.tables:
+            assert a.has_column_stats(t.name) == b.has_column_stats(t.name)
+            assert a.estimated_rows(t.name) == b.estimated_rows(t.name)
+
+    def test_invalid_availability_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            StatisticsView(catalog, availability=1.5)
+
+
+class TestRowEstimates:
+    def test_rows_positive(self, catalog):
+        view = StatisticsView(catalog, availability=0.0, staleness=0.5)
+        for t in catalog.tables:
+            assert view.estimated_rows(t.name) >= 1
+
+    def test_zero_staleness_with_stats_is_exact(self, catalog):
+        view = StatisticsView(catalog, availability=1.0, staleness=0.0)
+        for t in catalog.tables:
+            assert view.estimated_rows(t.name) == t.n_rows
+
+    def test_missing_stats_rows_noisier(self, catalog):
+        noisy = StatisticsView(
+            catalog, availability=0.0, staleness=0.3, rng=np.random.default_rng(3)
+        )
+        exact = StatisticsView(
+            catalog, availability=1.0, staleness=0.3, rng=np.random.default_rng(3)
+        )
+        noisy_err = np.mean(
+            [abs(np.log(noisy.estimated_rows(t.name) / t.n_rows)) for t in catalog.tables]
+        )
+        exact_err = np.mean(
+            [abs(np.log(exact.estimated_rows(t.name) / t.n_rows)) for t in catalog.tables]
+        )
+        assert noisy_err > exact_err
+
+
+class TestSelectivityEstimates:
+    def test_defaults_when_missing(self, catalog):
+        view = StatisticsView(catalog, availability=0.0)
+        col = catalog.column("t0.k")
+        for op, default in DEFAULT_SELECTIVITY.items():
+            assert view.estimate_selectivity(col, op, 0.5) == default
+
+    def test_stats_based_estimate_tracks_truth(self, catalog):
+        view = StatisticsView(catalog, availability=1.0, staleness=0.0)
+        col = catalog.column("t0.k")
+        estimated = view.estimate_selectivity(col, "<", 0.3)
+        assert estimated == pytest.approx(col.selectivity_range(0.3), rel=0.05)
+
+    def test_eq_and_neq_complement(self, catalog):
+        view = StatisticsView(catalog, availability=1.0, staleness=0.0)
+        col = catalog.column("t0.k")
+        eq = view.estimate_selectivity(col, "=", 0.4)
+        neq = view.estimate_selectivity(col, "!=", 0.4)
+        assert eq + neq == pytest.approx(1.0)
+
+    def test_unknown_operator_rejected(self, catalog):
+        view = StatisticsView(catalog, availability=0.0)
+        col = catalog.column("t0.k")
+        with pytest.raises(ValueError):
+            view.estimate_selectivity(col, "~", 0.5)
+
+    def test_column_stats_none_when_missing(self, catalog):
+        view = StatisticsView(catalog, availability=0.0)
+        assert view.column_stats("t0", "k") is None

@@ -51,6 +51,16 @@ def test_fig10_cost_inference_strategies(benchmark, eval_projects, trained_loams
 
             sums = {s: 0.0 for s in STRATEGIES}
             devs = {s: [] for s in STRATEGIES}
+            # (strategy, predictor serving layer, environment strategy or
+            # None).  One candidate set is scored under every environment:
+            # the serving cache encodes each plan once and splices the 4-wide
+            # env block per strategy.
+            learned = {
+                "loam": (loam.predictor.serving, loam.environment),
+                "loam-ce": (loam.predictor.serving, ce),
+                "loam-cb": (loam.predictor.serving, cb),
+                "loam-nl": (loam_nl.predictor.serving, None),
+            }
             for query in project.test_queries[:n_queries]:
                 plans = explorer.candidates(query, top_k=5)
                 samples = [flighting.sample_costs(p, estimator.n_samples) for p in plans]
@@ -58,26 +68,13 @@ def test_fig10_cost_inference_strategies(benchmark, eval_projects, trained_loams
                 means = [s.mean() for s in samples]
 
                 selections = {
-                    "loam": int(
-                        np.argmin(
-                            loam.predictor.predict(
-                                plans, env_features=loam.environment.features()
-                            )
-                        )
-                    ),
-                    "loam-ce": int(
-                        np.argmin(
-                            loam.predictor.predict(plans, env_features=ce.features())
-                        )
-                    ),
-                    "loam-cb": int(
-                        np.argmin(
-                            loam.predictor.predict(plans, env_features=cb.features())
-                        )
-                    ),
-                    "loam-nl": int(np.argmin(loam_nl.predictor.predict(plans))),
-                    "best-achievable": report.best_achievable_index,
+                    strategy: service.select_best_index(
+                        plans,
+                        env_features=env.features() if env is not None else None,
+                    )[0]
+                    for strategy, (service, env) in learned.items()
                 }
+                selections["best-achievable"] = report.best_achievable_index
                 for strategy, idx in selections.items():
                     sums[strategy] += means[idx]
                     devs[strategy].append(report.relative_deviance_of(idx))

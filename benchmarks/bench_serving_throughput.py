@@ -1,0 +1,175 @@
+"""Serving-layer throughput: cached/batched inference vs. the naive path.
+
+The workload mirrors the online steering pattern of ``bench_fig10_inference``:
+every test query's candidate set (5 plans) is scored under four environment
+strategies, so the same plans are re-scored with only the 4-wide environment
+block changing — exactly the case the encode-once + env-splice cache targets.
+
+Three paths are timed:
+
+* **naive** — the pre-serving ``AdaptiveCostPredictor.predict``: full
+  re-encode of every plan per request (per-node Python loop, cold hash
+  memo), one padded batch, forward through the autodiff engine;
+* **cold** — ``CostInferenceService`` with caches cleared before every
+  round: vectorized encoding + size buckets + no-grad float32 forward;
+* **warm** — the steady-state service: encoding and prediction caches hot.
+
+Reported as plans/sec with p50/p99 per-request latency, written to the
+``BENCH_serving.json`` artifact (path override: ``BENCH_SERVING_OUT``) so
+successive PRs can track the trajectory.  Acceptance floors asserted here:
+warm ≥ 10× naive, cold ≥ 2× naive, and fast-path predictions within 1e-5
+relative tolerance of the naive path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_banner
+from repro.core.encoding import PlanEncoder
+from repro.core.explorer import PlanExplorer
+from repro.core.predictor import AdaptiveCostPredictor, PredictorConfig
+from repro.evaluation.projects import evaluation_profiles
+from repro.evaluation.reporting import format_table
+from repro.serving import CostInferenceService
+from repro.warehouse.workload import generate_project
+
+#: Environments the same candidate sets are re-scored under (the fig10
+#: strategy sweep, abstracted to fixed feature vectors).
+ENVIRONMENTS = (
+    (0.5, 0.05, 0.5, 0.5),
+    (0.62, 0.03, 0.41, 0.55),
+    (0.31, 0.12, 0.77, 0.69),
+    (0.0, 0.0, 0.0, 0.0),
+)
+
+
+@pytest.fixture(scope="module")
+def serving_setup(scale):
+    profile = evaluation_profiles()[0]
+    workload = generate_project(profile, horizon_days=4)
+    workload.simulate_history(3, max_queries_per_day=40)
+    records = workload.repository.deduplicated(workload.repository.records)
+    records = records[: min(len(records), scale.max_training_queries)]
+    predictor = AdaptiveCostPredictor(
+        config=PredictorConfig(epochs=max(3, scale.predictor_epochs // 3))
+    )
+    predictor.fit([r.plan for r in records], [r.cpu_cost for r in records])
+
+    explorer = PlanExplorer(workload.optimizer)
+    n_queries = max(8, scale.n_test_queries // 4)
+    candidate_sets = []
+    for record in records[:n_queries]:
+        plans = explorer.candidates(record.plan.query, top_k=5)
+        if plans:
+            candidate_sets.append(plans)
+    return predictor, candidate_sets
+
+
+def _naive_predict_fn(predictor):
+    """The pre-serving inference path, reconstructed: an encoder whose hash
+    memo is cleared per request (the seed encoder had no memoization), the
+    per-node reference encoding loop, and the autodiff forward."""
+    encoder = PlanEncoder()
+
+    def predict(plans, env):
+        encoder.hasher._memo.clear()
+        encoded = [encoder.encode_plan_reference(p, env_override=env) for p in plans]
+        return predictor.predict_encoded(encoded)
+
+    return predict
+
+
+def _run_rounds(candidate_sets, rounds, predict_fn, *, before_round=None):
+    latencies = []
+    plans_scored = 0
+    started = time.perf_counter()
+    for _ in range(rounds):
+        if before_round is not None:
+            before_round()
+        for plans in candidate_sets:
+            for env in ENVIRONMENTS:
+                t0 = time.perf_counter()
+                predict_fn(plans, env)
+                latencies.append(time.perf_counter() - t0)
+                plans_scored += len(plans)
+    total = time.perf_counter() - started
+    latencies.sort()
+    return {
+        "plans_per_sec": plans_scored / total,
+        "p50_ms": 1e3 * latencies[int(0.50 * (len(latencies) - 1))],
+        "p99_ms": 1e3 * latencies[int(0.99 * (len(latencies) - 1))],
+        "total_seconds": total,
+        "plans_scored": plans_scored,
+    }
+
+
+def test_serving_throughput(benchmark, serving_setup, scale):
+    predictor, candidate_sets = serving_setup
+    service = CostInferenceService(predictor)
+    naive_predict = _naive_predict_fn(predictor)
+
+    def service_predict(plans, env):
+        return service.predict(plans, env_features=env)
+
+    # Correctness gate before timing anything.
+    for plans in candidate_sets[:4]:
+        for env in ENVIRONMENTS:
+            np.testing.assert_allclose(
+                service_predict(plans, env), naive_predict(plans, env), rtol=1e-5
+            )
+    service.clear_caches()
+    service.reset_stats()
+
+    rounds = 2 if scale.name == "smoke" else 3
+
+    def run():
+        naive = _run_rounds(candidate_sets, rounds, naive_predict)
+        cold = _run_rounds(
+            candidate_sets, rounds, service_predict, before_round=service.clear_caches
+        )
+        # One priming pass, then measure the steady state.
+        _run_rounds(candidate_sets, 1, service_predict)
+        warm = _run_rounds(candidate_sets, rounds, service_predict)
+        return naive, cold, warm
+
+    naive, cold, warm = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = service.stats()
+
+    print_banner("Serving throughput - plans/sec and per-request latency")
+    rows = [
+        [name, f"{m['plans_per_sec']:,.0f}", f"{m['p50_ms']:.3f}", f"{m['p99_ms']:.3f}",
+         f"{m['plans_per_sec'] / naive['plans_per_sec']:.1f}x"]
+        for name, m in (("naive", naive), ("cold", cold), ("warm", warm))
+    ]
+    print(format_table(["path", "plans/sec", "p50 ms", "p99 ms", "speedup"], rows))
+    print(
+        f"cache: {stats.encode_hits} encode hits / {stats.encode_misses} misses, "
+        f"{stats.prediction_hits} prediction hits, {stats.batches} batches"
+    )
+
+    artifact = {
+        "scale": scale.name,
+        "n_candidate_sets": len(candidate_sets),
+        "environments": len(ENVIRONMENTS),
+        "naive": naive,
+        "cold": cold,
+        "warm": warm,
+        "cold_speedup": cold["plans_per_sec"] / naive["plans_per_sec"],
+        "warm_speedup": warm["plans_per_sec"] / naive["plans_per_sec"],
+        "serving_stats": stats.as_dict(),
+    }
+    out_path = os.environ.get("BENCH_SERVING_OUT", "BENCH_serving.json")
+    with open(out_path, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+    print(f"wrote {out_path}")
+
+    # Acceptance floors (ISSUE 1): warm-cache repeat scoring >= 10x, cold
+    # batched scoring >= 2x the pre-serving predict path.
+    assert artifact["warm_speedup"] >= 10.0, artifact["warm_speedup"]
+    assert artifact["cold_speedup"] >= 2.0, artifact["cold_speedup"]

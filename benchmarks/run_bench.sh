@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 gate + serving-throughput benchmark, sized for CI.
+#
+# Runs the full unit/integration suite at REPRO_SCALE=smoke, then the
+# serving-layer throughput benchmark, which writes a BENCH_serving.json
+# artifact (plans/sec, p50/p99 latency, cold/warm speedups, cache stats)
+# so successive PRs can track the serving trajectory.
+#
+# Usage:
+#   benchmarks/run_bench.sh                  # artifact -> benchmarks/BENCH_serving.json
+#   BENCH_SERVING_OUT=/tmp/b.json benchmarks/run_bench.sh
+#   REPRO_SCALE=small benchmarks/run_bench.sh  # bigger workload, same gates
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+export REPRO_SCALE="${REPRO_SCALE:-smoke}"
+export PYTHONPATH="${REPO_ROOT}/src${PYTHONPATH:+:${PYTHONPATH}}"
+export BENCH_SERVING_OUT="${BENCH_SERVING_OUT:-${REPO_ROOT}/benchmarks/BENCH_serving.json}"
+
+echo "== tier-1 tests (REPRO_SCALE=${REPRO_SCALE}) =="
+python -m pytest "${REPO_ROOT}/tests" -x -q
+
+echo
+echo "== serving throughput benchmark =="
+(cd "${REPO_ROOT}/benchmarks" && python -m pytest bench_serving_throughput.py -q -s)
+
+echo
+echo "== artifact =="
+echo "${BENCH_SERVING_OUT}"
+python - "${BENCH_SERVING_OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    artifact = json.load(fh)
+print(
+    f"warm {artifact['warm']['plans_per_sec']:,.0f} plans/s "
+    f"({artifact['warm_speedup']:.1f}x), "
+    f"cold {artifact['cold']['plans_per_sec']:,.0f} plans/s "
+    f"({artifact['cold_speedup']:.1f}x), "
+    f"naive {artifact['naive']['plans_per_sec']:,.0f} plans/s"
+)
+EOF

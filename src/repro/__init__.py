@@ -9,6 +9,8 @@ Top-level layout:
   convolution, transformer, GCN, GBDT, gradient reversal);
 * :mod:`repro.core` — LOAM itself (plan encoding, adaptive cost predictor,
   plan explorer, cost inference, deviance theory, project selection);
+* :mod:`repro.serving` — the online inference fast path (encoding cache with
+  environment splicing, size-bucketed micro-batching, no-autodiff forward);
 * :mod:`repro.evaluation` — the experiment harness reproducing the paper's
   tables and figures.
 """

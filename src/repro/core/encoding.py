@@ -88,6 +88,15 @@ class PlanEncoder:
         self._filter_offset = self._agg_offset + len(AGG_FUNCS) + 2 * h
         self._env_offset = self._filter_offset + len(PREDICATE_OPS) + h + 3
         self.dim = self._env_offset + 4
+        # Index lookup tables: tuple.index() is a linear scan per node, which
+        # dominates the encoding loop on the serving path.
+        self._op_index = {op: i for i, op in enumerate(OPERATOR_TYPES)}
+        self._join_form_index = {f: i for i, f in enumerate(JOIN_FORMS)}
+        self._agg_func_index = {f: i for i, f in enumerate(AGG_FUNCS)}
+        self._pred_op_index = {op: i for i, op in enumerate(PREDICATE_OPS)}
+        # Memoized log-min-max normalizations of small-integer scan attributes.
+        self._partition_norm: dict[int, float] = {}
+        self._column_norm: dict[int, float] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -107,8 +116,59 @@ class PlanEncoder:
         ``env_override`` replaces every node's environment block (used at
         inference time when the true environment is unobservable); without
         it, each node's logged stage environment is used.
+
+        This is the vectorized fast path: one preallocated ``(n, dim)``
+        feature array filled in place with memoized hash encodings and
+        dict-based category lookups, then a single broadcast write of the
+        environment block.  :meth:`encode_plan_reference` retains the naive
+        per-node construction; equivalence tests assert bitwise-equal output.
         """
         nodes = list(plan.iter_nodes())  # pre-order; index i -> row i+1
+        n = len(nodes)
+        row_of = {id(node): i + 1 for i, node in enumerate(nodes)}
+        features = np.zeros((n, self.dim))
+        left = np.zeros(n, dtype=np.int64)
+        right = np.zeros(n, dtype=np.int64)
+
+        op_index = self._op_index
+        op_rows = np.empty(n, dtype=np.int64)
+        for i, node in enumerate(nodes):
+            op_rows[i] = op_index[node.op_type]
+            children = node.children
+            if children:
+                left[i] = row_of[id(children[0])]
+                if len(children) > 1:
+                    right[i] = row_of[id(children[1])]
+            self._fill_attributes(features[i], node)
+        # One-hot operator block and environment block as batched writes.
+        features[np.arange(n), self._op_offset + op_rows] = 1.0
+        if env_override is not None:
+            features[:, self._env_offset : self._env_offset + 4] = env_override
+        else:
+            env_rows = [
+                node.env if node.env is not None else _NEUTRAL_ENV for node in nodes
+            ]
+            features[:, self._env_offset : self._env_offset + 4] = env_rows
+        return EncodedPlan(features=features, left=left, right=right)
+
+    def encode_plans(
+        self,
+        plans: list[PhysicalPlan],
+        *,
+        env_override: tuple[float, float, float, float] | None = None,
+    ) -> list[EncodedPlan]:
+        return [self.encode_plan(p, env_override=env_override) for p in plans]
+
+    def encode_plan_reference(
+        self,
+        plan: PhysicalPlan,
+        *,
+        env_override: tuple[float, float, float, float] | None = None,
+    ) -> EncodedPlan:
+        """The original per-node encoding loop, kept as the equivalence oracle
+        for the vectorized path (and for the serving benchmarks' naive
+        baseline)."""
+        nodes = list(plan.iter_nodes())
         row_of = {id(node): i + 1 for i, node in enumerate(nodes)}
         features = np.zeros((len(nodes), self.dim))
         left = np.zeros(len(nodes), dtype=np.int64)
@@ -121,15 +181,45 @@ class PlanEncoder:
                 right[i] = row_of[id(node.children[1])]
         return EncodedPlan(features=features, left=left, right=right)
 
-    def encode_plans(
-        self,
-        plans: list[PhysicalPlan],
-        *,
-        env_override: tuple[float, float, float, float] | None = None,
-    ) -> list[EncodedPlan]:
-        return [self.encode_plan(p, env_override=env_override) for p in plans]
-
     # -- node encoding -----------------------------------------------------------
+
+    def _fill_attributes(self, row: np.ndarray, node: PlanNode) -> None:
+        """Write the operator-specific blocks of one node into ``row`` (a view
+        into the preallocated feature matrix).  Operator one-hot and the
+        environment block are written in batch by :meth:`encode_plan`."""
+        if isinstance(node, TableScanNode):
+            h = self.hasher.dim
+            row[self._scan_offset : self._scan_offset + h] = self.hasher.encode(node.table)
+            norm = self._partition_norm.get(node.n_partitions)
+            if norm is None:
+                norm = log_minmax_normalize(node.n_partitions, 1.0, _MAX_PARTITIONS)
+                self._partition_norm[node.n_partitions] = norm
+            row[self._scan_offset + h] = norm
+            norm = self._column_norm.get(node.n_columns)
+            if norm is None:
+                norm = log_minmax_normalize(node.n_columns, 1.0, _MAX_COLUMNS)
+                self._column_norm[node.n_columns] = norm
+            row[self._scan_offset + h + 1] = norm
+            if node.predicates:
+                self._encode_predicates(row, node.predicates)
+
+        elif isinstance(node, JoinNode):
+            row[self._join_offset + self._join_form_index[node.form]] = 1.0
+            start = self._join_offset + len(JOIN_FORMS)
+            row[start : start + self.hasher.dim] = self.hasher.encode_many(
+                [node.left_key, node.right_key]
+            )
+
+        elif isinstance(node, AggregateNode):
+            row[self._agg_offset + self._agg_func_index[node.func]] = 1.0
+            start = self._agg_offset + len(AGG_FUNCS)
+            h = self.hasher.dim
+            row[start : start + h] = self.hasher.encode(node.agg_column)
+            if node.group_by:
+                row[start + h : start + 2 * h] = self.hasher.encode_many(node.group_by)
+
+        elif isinstance(node, (FilterNode, CalcNode)):
+            self._encode_predicates(row, node.predicates)
 
     def _encode_node(
         self,
@@ -179,7 +269,7 @@ class PlanEncoder:
         if not predicates:
             return
         for predicate in predicates:
-            out[self._filter_offset + PREDICATE_OPS.index(predicate.op)] = 1.0
+            out[self._filter_offset + self._pred_op_index[predicate.op]] = 1.0
         start = self._filter_offset + len(PREDICATE_OPS)
         np.maximum(
             out[start : start + self.hasher.dim],

@@ -21,24 +21,40 @@ __all__ = ["MultiSegmentHashEncoder"]
 
 
 class MultiSegmentHashEncoder:
-    """Deterministic multi-hash identifier encoder."""
+    """Deterministic multi-hash identifier encoder.
+
+    Encodings are memoized per identifier: catalogs are bounded (thousands of
+    tables/columns), while plan encoding touches the same identifiers on every
+    candidate of every query, so the amortized cost of :meth:`encode` drops to
+    a dict lookup on the online serving path.
+    """
 
     def __init__(self, n_segments: int = 5, segment_dim: int = 10) -> None:
         if n_segments < 1 or segment_dim < 1:
             raise ValueError("n_segments and segment_dim must be >= 1")
         self.n_segments = n_segments
         self.segment_dim = segment_dim
+        self._memo: dict[str, np.ndarray] = {}
 
     @property
     def dim(self) -> int:
         return self.n_segments * self.segment_dim
 
     def encode(self, identifier: str) -> np.ndarray:
-        """Encode one identifier into a {0,1}^dim vector."""
+        """Encode one identifier into a {0,1}^dim vector.
+
+        The returned array is a shared memoized buffer — callers must not
+        mutate it in place (copy first, or assign into a destination slice).
+        """
+        cached = self._memo.get(identifier)
+        if cached is not None:
+            return cached
         out = np.zeros(self.dim)
         for segment in range(self.n_segments):
             bucket = stable_hash((segment, identifier), self.segment_dim)
             out[segment * self.segment_dim + bucket] = 1.0
+        out.setflags(write=False)
+        self._memo[identifier] = out
         return out
 
     def encode_many(self, identifiers: Iterable[str]) -> np.ndarray:

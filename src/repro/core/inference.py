@@ -81,15 +81,35 @@ class HistoricalMeanEnvironment(EnvironmentStrategy):
 
 class ClusterExpectedEnvironment(EnvironmentStrategy):
     """LOAM-CE: expected values of a distribution fitted to cluster-wide
-    samples collected over a trailing window (the paper uses 24 h)."""
+    samples collected over a trailing window (the paper uses 24 h).
+
+    **Side effect**: collecting the window *advances the shared cluster
+    clock* by ``n_samples * ticks_between`` ticks (the simulator has no
+    retrospective sampling, so a trailing window is emulated by stepping
+    time forward).  Collection therefore happens eagerly in ``__init__`` —
+    at a well-defined point chosen by the caller — rather than lazily on
+    the first ``features()`` read, where the clock jump used to be a hidden
+    side effect whose timing depended on when some downstream consumer
+    first asked for features.  Pass ``eager=False`` to defer; ``features()``
+    then raises until :meth:`collect` is called explicitly.
+    """
 
     name = "loam-ce"
 
-    def __init__(self, cluster: Cluster, *, n_samples: int = 72, ticks_between: int = 60) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        n_samples: int = 72,
+        ticks_between: int = 60,
+        eager: bool = True,
+    ) -> None:
         self.cluster = cluster
         self.n_samples = n_samples
         self.ticks_between = ticks_between
         self._features: Features | None = None
+        if eager:
+            self.collect()
 
     def collect(self) -> "ClusterExpectedEnvironment":
         """Sample the trailing window (advances the cluster clock)."""
@@ -103,8 +123,11 @@ class ClusterExpectedEnvironment(EnvironmentStrategy):
 
     def features(self) -> Features:
         if self._features is None:
-            self.collect()
-        assert self._features is not None
+            raise RuntimeError(
+                "ClusterExpectedEnvironment constructed with eager=False: "
+                "call collect() before features() (collection advances the "
+                "shared cluster clock)"
+            )
         return self._features
 
 

@@ -162,6 +162,21 @@ class AdaptiveCostPredictor:
         self._log_mean = 0.0
         self._log_std = 1.0
         self.report: TrainingReport | None = None
+        #: Bumped on every fit(); the serving layer re-snapshots weights and
+        #: drops cached predictions when it observes a new version.
+        self.weights_version = 0
+        self._serving = None
+
+    @property
+    def serving(self):
+        """The lazily constructed online fast path (encode cache + bucketed
+        batching + inference-only forward).  ``predict``/``select_best``
+        route through it; see :mod:`repro.serving.service`."""
+        if self._serving is None:
+            from repro.serving.service import CostInferenceService
+
+            self._serving = CostInferenceService(self)
+        return self._serving
 
     # -- label transform ---------------------------------------------------------
 
@@ -283,6 +298,7 @@ class AdaptiveCostPredictor:
         report.train_seconds = time.perf_counter() - started
         self.report = report
         self.module.eval()
+        self.weights_version += 1
         return report
 
     # -- inference -----------------------------------------------------------------------
@@ -294,12 +310,31 @@ class AdaptiveCostPredictor:
         env_features: tuple[float, float, float, float] | None = None,
     ) -> np.ndarray:
         """Predicted CPU cost of each plan, with the environment block set to
-        ``env_features`` (or each node's logged environment when ``None``)."""
+        ``env_features`` (or each node's logged environment when ``None``).
+
+        Served through :attr:`serving` — cached encodings, size-bucketed
+        micro-batches, and a no-autodiff forward.  :meth:`predict_baseline`
+        retains the unoptimized path (the serving layer's numerical oracle)."""
+        if not plans:
+            return np.zeros(0)
+        return self.serving.predict(plans, env_features=env_features)
+
+    def predict_baseline(
+        self,
+        plans: list[PhysicalPlan],
+        *,
+        env_features: tuple[float, float, float, float] | None = None,
+    ) -> np.ndarray:
+        """The naive inference path: full re-encode of every plan, one padded
+        batch, forward pass through the autodiff engine.  Kept for the
+        serving equivalence tests and throughput benchmarks."""
         if not plans:
             return np.zeros(0)
         if not self.config.use_environment:
             env_features = (0.0, 0.0, 0.0, 0.0)
-        encoded = self.encoder.encode_plans(plans, env_override=env_features)
+        encoded = [
+            self.encoder.encode_plan_reference(p, env_override=env_features) for p in plans
+        ]
         return self.predict_encoded(encoded)
 
     def predict_encoded(self, encoded: list[EncodedPlan]) -> np.ndarray:

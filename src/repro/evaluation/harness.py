@@ -203,10 +203,14 @@ def evaluate_methods(
 
     for name, model in methods.items():
         env = env_features.get(name)
+        # Models exposing a serving layer (AdaptiveCostPredictor) are scored
+        # through it: cached encodings + bucketed batches + no-grad forward.
+        service = getattr(model, "serving", None)
+        predict = service.predict if service is not None else model.predict
         chosen_costs, chose_default, infer_times = [], [], []
         for qc in measured:
             started = time.perf_counter()
-            predictions = model.predict(qc.plans, env_features=env)
+            predictions = predict(qc.plans, env_features=env)
             infer_times.append(time.perf_counter() - started)
             pick = int(np.argmin(predictions))
             chosen_costs.append(qc.measured_costs[pick])

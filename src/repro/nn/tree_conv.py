@@ -45,31 +45,82 @@ class TreeBatch:
     @staticmethod
     def from_trees(
         trees: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+        *,
+        dtype: np.dtype | type = np.float64,
+        pad_to: int | None = None,
     ) -> "TreeBatch":
         """Assemble a batch from per-tree (features, left, right) triples.
 
         Per-tree ``features`` is (n_nodes, D) *without* the sentinel row;
         ``left``/``right`` are (n_nodes,) int arrays indexing 1-based node
-        rows (0 = absent child).
+        rows (0 = absent child).  Child indices are validated: an index
+        outside ``[0, n_nodes]`` would silently gather a garbage row (or
+        crash deep inside ``gather_nodes``), so it raises ``ValueError``
+        here instead.
+
+        ``dtype`` selects the feature/mask buffer precision (the serving
+        layer uses float32 to halve memory traffic); ``pad_to`` pads every
+        tree to a fixed node count ≥ the largest tree, which lets size
+        buckets share reusable buffers.
         """
         if not trees:
             raise ValueError("cannot build an empty TreeBatch")
         dim = trees[0][0].shape[1]
         max_nodes = max(f.shape[0] for f, _, _ in trees)
+        if pad_to is not None:
+            if pad_to < max_nodes:
+                raise ValueError(f"pad_to={pad_to} below largest tree ({max_nodes} nodes)")
+            max_nodes = pad_to
         batch = len(trees)
-        features = np.zeros((batch, max_nodes + 1, dim))
+        features = np.zeros((batch, max_nodes + 1, dim), dtype=dtype)
         left = np.zeros((batch, max_nodes + 1), dtype=np.int64)
         right = np.zeros((batch, max_nodes + 1), dtype=np.int64)
-        mask = np.zeros((batch, max_nodes + 1, 1))
+        mask = np.zeros((batch, max_nodes + 1, 1), dtype=dtype)
         for b, (f, l, r) in enumerate(trees):
             n = f.shape[0]
             if f.shape[1] != dim:
                 raise ValueError("inconsistent feature dims across trees")
+            for name, idx in (("left", l), ("right", r)):
+                if len(idx) and (idx.min() < 0 or idx.max() > n):
+                    raise ValueError(
+                        f"tree {b}: {name} child indices must lie in [0, {n}] "
+                        f"(got range [{idx.min()}, {idx.max()}])"
+                    )
             features[b, 1 : n + 1] = f
             left[b, 1 : n + 1] = l
             right[b, 1 : n + 1] = r
             mask[b, 1 : n + 1, 0] = 1.0
         return TreeBatch(features=features, left=left, right=right, mask=mask)
+
+    @staticmethod
+    def bucket_indices(
+        n_nodes: list[int], *, max_batch: int | None = None
+    ) -> list[tuple[int, list[int]]]:
+        """Group tree indices into size buckets for micro-batching.
+
+        Trees are bucketed by node count rounded up to the next power of two
+        (minimum 8), so a batch containing one 40-node plan no longer pads
+        every 5-node plan to 41 rows.  Returns ``(padded_size, indices)``
+        pairs; ``max_batch`` additionally splits oversized buckets.  Within a
+        padded batch each tree's rows are processed independently (padding
+        rows are zero and masked), so bucketing never changes predictions —
+        only the padding wasted on them.
+        """
+        buckets: dict[int, list[int]] = {}
+        for i, n in enumerate(n_nodes):
+            size = 8
+            while size < n:
+                size *= 2
+            buckets.setdefault(size, []).append(i)
+        out: list[tuple[int, list[int]]] = []
+        for size in sorted(buckets):
+            indices = buckets[size]
+            if max_batch is None:
+                out.append((size, indices))
+            else:
+                for start in range(0, len(indices), max_batch):
+                    out.append((size, indices[start : start + max_batch]))
+        return out
 
     def subset(self, indices: np.ndarray) -> "TreeBatch":
         return TreeBatch(

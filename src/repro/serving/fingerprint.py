@@ -1,0 +1,78 @@
+"""Plan fingerprinting for the serving-layer encoding cache.
+
+The cache key must capture *exactly* what the encoder reads from a plan —
+no more (spurious misses) and no less (wrong hits).  ``PlanNode.
+structural_signature`` is close but rounds predicate values to 6 decimal
+places, which the encoder does not, so two plans differing only at the
+7th decimal of a predicate constant would collide.  This module derives
+its own key from the encoder-visible attributes at full precision.
+
+Environment features are deliberately *excluded*: the serving layer always
+splices the environment block into the assembled batch (either the request
+override or the per-node logged values read fresh at request time), so one
+cached encoding serves every environment — the encode-once + env-splice
+fast path.
+
+Keys are plain nested tuples hashed by the interpreter's built-in tuple
+hash.  A digest (e.g. FNV over ``repr``) would be stable across processes
+but costs a Python-level loop over kilobytes per plan; dict lookups on
+structured tuples are both faster and collision-proof, and the cache is
+per-process anyway.
+"""
+
+from __future__ import annotations
+
+from repro.warehouse.operators import (
+    AggregateNode,
+    CalcNode,
+    FilterNode,
+    JoinNode,
+    PlanNode,
+    TableScanNode,
+)
+from repro.warehouse.plan import PhysicalPlan
+
+__all__ = ["plan_fingerprint"]
+
+
+def _node_key(node: PlanNode) -> tuple:
+    if isinstance(node, TableScanNode):
+        attrs: tuple = (
+            node.table,
+            node.n_partitions,
+            node.n_columns,
+            tuple((p.qualified_column, p.op, p.value) for p in node.predicates),
+        )
+    elif isinstance(node, JoinNode):
+        attrs = (node.form, node.left_key, node.right_key)
+    elif isinstance(node, AggregateNode):
+        attrs = (node.func, node.agg_column, node.group_by)
+    elif isinstance(node, (FilterNode, CalcNode)):
+        attrs = tuple((p.qualified_column, p.op, p.value) for p in node.predicates)
+    else:
+        attrs = ()
+    return (node.op_type, attrs, len(node.children))
+
+
+def plan_fingerprint(plan: PhysicalPlan) -> tuple:
+    """A hashable key equal iff two plans encode to the same base features.
+
+    Pre-order node keys with per-node child counts uniquely determine the
+    tree shape, so no explicit nesting is needed — a flat tuple keeps both
+    construction and hashing cheap.
+
+    The key is memoized on the plan instance (``_serving_fingerprint``):
+    online steering scores the same plan objects repeatedly (once per
+    environment strategy), and the tree walk is a fifth of the cold serving
+    cost.  Safe because the memo ignores exactly the attributes the key
+    ignores — execution annotations (``env``, ``stage_id``, ``true_rows``)
+    may mutate freely, structural attributes never change after plan
+    generation, and ``PhysicalPlan.clone()`` builds a fresh instance without
+    the memo.
+    """
+    cached = plan.__dict__.get("_serving_fingerprint")
+    if cached is not None:
+        return cached
+    fingerprint = tuple(_node_key(node) for node in plan.iter_nodes())
+    plan.__dict__["_serving_fingerprint"] = fingerprint
+    return fingerprint

@@ -1,0 +1,426 @@
+"""Batched, cached online plan-cost inference (the serving fast path).
+
+``AdaptiveCostPredictor.predict`` is correct but built for training-time
+ergonomics: it re-encodes every node in Python, pads every plan in the
+request to the largest plan's size, and runs the forward pass through the
+autodiff ``Tensor`` machinery even though no gradient is ever needed.
+Online steering calls it in the query optimizer's latency budget, often on
+plans it scored moments earlier under a different environment block.
+
+:class:`CostInferenceService` keeps outputs identical (within float32
+round-off when ``dtype=float32``) while removing all four costs:
+
+1. **encode-once + env splice** — base encodings are cached in an LRU keyed
+   by :func:`~repro.serving.fingerprint.plan_fingerprint`; the 4-wide
+   environment block is spliced into the assembled batch via
+   ``PlanEncoder.env_slice``, so re-scoring the same plan under a new
+   environment never re-encodes the tree;
+2. **vectorized encoding** — cache misses go through the preallocating
+   ``PlanEncoder.encode_plan`` fast path;
+3. **size-bucketed micro-batching** — plans are grouped by node count
+   (``TreeBatch.bucket_indices``) so one 40-node plan does not pad every
+   5-node plan in the batch to 41 rows; batch buffers are float32 and
+   reused across requests to halve memory traffic;
+4. **inference-only forward** — a raw-numpy mirror of
+   ``TreeConvEncoder``/``_PredictiveModule`` that skips autodiff graph
+   bookkeeping entirely, reading a weight snapshot refreshed whenever the
+   predictor's ``weights_version`` changes.
+
+A second-tier prediction cache short-circuits exact repeats
+(same plan fingerprint, same environment override) without a forward pass.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.encoding import _NEUTRAL_ENV, EncodedPlan
+from repro.nn.tree_conv import TreeBatch
+from repro.serving.cache import EncodingCache, PredictionCache
+from repro.serving.fingerprint import plan_fingerprint
+from repro.warehouse.plan import PhysicalPlan
+
+__all__ = ["CostInferenceService", "ServingStats"]
+
+Env = "tuple[float, float, float, float]"
+
+#: Base encodings are cached with a zeroed environment block; the real block
+#: is spliced in at batch-assembly time.
+_ZERO_ENV = (0.0, 0.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """A point-in-time snapshot of the service's counters."""
+
+    requests: int
+    plans_scored: int
+    batches: int
+    encode_hits: int
+    encode_misses: int
+    encode_evictions: int
+    prediction_hits: int
+    prediction_misses: int
+    prediction_evictions: int
+    total_seconds: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+
+    @property
+    def encode_hit_rate(self) -> float:
+        total = self.encode_hits + self.encode_misses
+        return self.encode_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "plans_scored": self.plans_scored,
+            "batches": self.batches,
+            "encode_hits": self.encode_hits,
+            "encode_misses": self.encode_misses,
+            "encode_evictions": self.encode_evictions,
+            "encode_hit_rate": self.encode_hit_rate,
+            "prediction_hits": self.prediction_hits,
+            "prediction_misses": self.prediction_misses,
+            "prediction_evictions": self.prediction_evictions,
+            "total_seconds": self.total_seconds,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+        }
+
+
+class _WeightSnapshot:
+    """Flat numpy copies of the trained module's parameters in serving dtype."""
+
+    def __init__(self, module, dtype: np.dtype) -> None:
+        self.version: int | None = None
+        self.dtype = dtype
+        self.refresh(module)
+
+    def refresh(self, module) -> None:
+        dtype = self.dtype
+        emb = module.plan_emb
+        self.conv = [
+            (layer.weight.data.astype(dtype), layer.bias.data.astype(dtype))
+            for layer in emb.conv_layers
+        ]
+        self.fc_w = emb.fc.weight.data.astype(dtype)
+        self.fc_b = emb.fc.bias.data.astype(dtype)
+        self.pooling = emb.pooling
+        self.cost_head = module.config.cost_head
+        self.cost_w = module.cost_pred.weight.data.astype(dtype)
+        self.cost_b = module.cost_pred.bias.data.astype(dtype)
+        self.node_w = module.node_head.weight.data.astype(dtype)
+        self.node_b = module.node_head.bias.data.astype(dtype)
+        self.scale = float(np.exp(module.log_scale.data[0]))
+        self.log_mean = module._log_mean
+        self.log_std = module._log_std
+
+
+class _BufferPool:
+    """Reusable zeroed batch buffers keyed by (shape, dtype).
+
+    Every bucket of a steady-state serving workload hits the same handful of
+    (batch, padded-nodes, dim) shapes; reusing their buffers avoids an
+    allocate-and-fault cycle per request.  Single-threaded use only (a buffer
+    is recycled as soon as the next request asks for its shape).
+    """
+
+    def __init__(self, max_entries: int = 16) -> None:
+        self._buffers: dict[tuple, np.ndarray] = {}
+        self._max_entries = max_entries
+
+    def zeros(self, shape: tuple[int, ...], dtype, tag: str = "") -> np.ndarray:
+        # ``tag`` separates same-shaped buffers that must coexist in one
+        # request (left vs right child indices would otherwise alias).
+        # ``dtype`` is keyed as passed (np.dtype and type objects hash fine;
+        # normalizing through np.dtype(...).name measurably costs on the
+        # per-bucket path).
+        key = (shape, dtype, tag)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.zeros(shape, dtype=dtype)
+            if len(self._buffers) < self._max_entries:
+                self._buffers[key] = buf
+        else:
+            buf.fill(0)
+        return buf
+
+
+class CostInferenceService:
+    """Online plan-cost scoring with caching, bucketing, and a no-autodiff
+    forward pass.  Semantics match ``AdaptiveCostPredictor.predict``.
+
+    ``predictor`` is duck-typed: it must expose ``encoder``, ``module``,
+    ``config`` and (optionally) a ``weights_version`` counter bumped on
+    refit, which invalidates the weight snapshot and prediction cache.
+
+    Caveat: base encodings are cached by *structural* fingerprint.  When
+    ``env_features=None`` the per-node logged environments are read fresh
+    from the plan on every request (so mutation of ``node.env`` is safe),
+    but mutating any other encoder-visible attribute of a previously scored
+    plan requires :meth:`clear_caches`.
+    """
+
+    def __init__(
+        self,
+        predictor,
+        *,
+        encoding_cache_size: int = 1024,
+        prediction_cache_size: int = 4096,
+        dtype=np.float32,
+        max_batch: int = 256,
+        small_request_threshold: int = 8,
+        enable_prediction_cache: bool = True,
+        latency_window: int = 2048,
+    ) -> None:
+        self.predictor = predictor
+        self.encoder = predictor.encoder
+        self.dtype = np.dtype(dtype)
+        self.max_batch = max_batch
+        self.small_request_threshold = small_request_threshold
+        self.encoding_cache = EncodingCache(encoding_cache_size)
+        self.prediction_cache = PredictionCache(prediction_cache_size)
+        self.enable_prediction_cache = enable_prediction_cache
+        self._buffers = _BufferPool()
+        self._snapshot: _WeightSnapshot | None = None
+        self._batch_count = 0
+        self._request_count = 0
+        self._plans_scored = 0
+        self._prediction_misses = 0
+        self._total_seconds = 0.0
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    # -- public API -----------------------------------------------------------
+
+    def predict(
+        self,
+        plans: list[PhysicalPlan],
+        *,
+        env_features: tuple[float, float, float, float] | None = None,
+    ) -> np.ndarray:
+        """Predicted CPU cost per plan; same contract as the predictor's
+        ``predict`` (``env_features=None`` uses each node's logged stage
+        environment)."""
+        started = time.perf_counter()
+        out = np.zeros(len(plans))
+        if not plans:
+            return out
+        if not getattr(self.predictor.config, "use_environment", True):
+            env_features = _ZERO_ENV
+        env_key = tuple(float(v) for v in env_features) if env_features is not None else None
+
+        snapshot = self._current_snapshot()
+        fingerprints = [plan_fingerprint(p) for p in plans]
+        use_pred_cache = self.enable_prediction_cache and env_key is not None
+
+        pending: list[int] = []
+        for i, fp in enumerate(fingerprints):
+            if use_pred_cache:
+                cached = self.prediction_cache.get((fp, env_key))
+                if cached is not None:
+                    out[i] = cached
+                    continue
+            pending.append(i)
+        self._prediction_misses += len(pending)
+
+        if pending:
+            encoded = [self._encoded_base(plans[i], fingerprints[i]) for i in pending]
+            n_nodes = [e.n_nodes for e in encoded]
+            # Bucketing pays off when a large batch mixes sizes; for a small
+            # request (one query's candidate set) the fixed per-forward cost
+            # of extra buckets outweighs the padding it saves.
+            if len(pending) <= self.small_request_threshold:
+                buckets = [(max(n_nodes), list(range(len(pending))))]
+            else:
+                buckets = TreeBatch.bucket_indices(n_nodes, max_batch=self.max_batch)
+            for padded, members in buckets:
+                batch_out = self._forward_bucket(
+                    [encoded[m] for m in members],
+                    [plans[pending[m]] for m in members],
+                    padded,
+                    env_features,
+                    snapshot,
+                )
+                for m, value in zip(members, batch_out):
+                    i = pending[m]
+                    out[i] = value
+                    if use_pred_cache:
+                        self.prediction_cache.put((fingerprints[i], env_key), float(value))
+
+        elapsed = time.perf_counter() - started
+        self._request_count += 1
+        self._plans_scored += len(plans)
+        self._total_seconds += elapsed
+        self._latencies.append(elapsed)
+        return out
+
+    def select_best(
+        self,
+        plans: list[PhysicalPlan],
+        *,
+        env_features: tuple[float, float, float, float] | None = None,
+    ) -> tuple[PhysicalPlan, np.ndarray]:
+        """The steering decision: the candidate with least predicted cost."""
+        index, predictions = self.select_best_index(plans, env_features=env_features)
+        return plans[index], predictions
+
+    def select_best_index(
+        self,
+        plans: list[PhysicalPlan],
+        *,
+        env_features: tuple[float, float, float, float] | None = None,
+    ) -> tuple[int, np.ndarray]:
+        """Like :meth:`select_best` but returns the winning index (what the
+        figure benchmarks tabulate)."""
+        if not plans:
+            raise ValueError("select_best on an empty candidate list")
+        predictions = self.predict(plans, env_features=env_features)
+        return int(np.argmin(predictions)), predictions
+
+    def stats(self) -> ServingStats:
+        latencies = sorted(self._latencies)
+        p50 = p99 = 0.0
+        if latencies:
+            p50 = 1e3 * latencies[int(0.50 * (len(latencies) - 1))]
+            p99 = 1e3 * latencies[int(0.99 * (len(latencies) - 1))]
+        return ServingStats(
+            requests=self._request_count,
+            plans_scored=self._plans_scored,
+            batches=self._batch_count,
+            encode_hits=self.encoding_cache.hits,
+            encode_misses=self.encoding_cache.misses,
+            encode_evictions=self.encoding_cache.evictions,
+            prediction_hits=self.prediction_cache.hits,
+            prediction_misses=self._prediction_misses,
+            prediction_evictions=self.prediction_cache.evictions,
+            total_seconds=self._total_seconds,
+            p50_latency_ms=p50,
+            p99_latency_ms=p99,
+        )
+
+    def reset_stats(self) -> None:
+        self._batch_count = 0
+        self._request_count = 0
+        self._plans_scored = 0
+        self._prediction_misses = 0
+        self._total_seconds = 0.0
+        self._latencies.clear()
+        self.encoding_cache.reset_counters()
+        self.prediction_cache.reset_counters()
+
+    def clear_caches(self) -> None:
+        self.encoding_cache.clear()
+        self.prediction_cache.clear()
+
+    def refresh_weights(self) -> None:
+        """Force a weight re-snapshot (normally automatic via
+        ``predictor.weights_version``)."""
+        self._snapshot = None
+        self.prediction_cache.clear()
+
+    # -- internals -----------------------------------------------------------
+
+    def _current_snapshot(self) -> _WeightSnapshot:
+        version = getattr(self.predictor, "weights_version", 0)
+        snapshot = self._snapshot
+        if snapshot is None:
+            snapshot = _WeightSnapshot(self.predictor.module, self.dtype)
+            snapshot.version = version
+            self._snapshot = snapshot
+        elif snapshot.version != version:
+            snapshot.refresh(self.predictor.module)
+            snapshot.version = version
+            self.prediction_cache.clear()
+        return snapshot
+
+    def _encoded_base(self, plan: PhysicalPlan, fingerprint: tuple) -> EncodedPlan:
+        cached = self.encoding_cache.get(fingerprint)
+        if cached is not None:
+            return cached
+        encoded = self.encoder.encode_plan(plan, env_override=_ZERO_ENV)
+        self.encoding_cache.put(fingerprint, encoded)
+        return encoded
+
+    def _forward_bucket(
+        self,
+        encoded: list[EncodedPlan],
+        plans: list[PhysicalPlan],
+        padded_nodes: int,
+        env_features: tuple[float, float, float, float] | None,
+        snapshot: _WeightSnapshot,
+    ) -> np.ndarray:
+        batch = len(encoded)
+        dim = self.encoder.dim
+        dtype = self.dtype
+        env_slice = self.encoder.env_slice
+
+        features = self._buffers.zeros((batch, padded_nodes + 1, dim), dtype)
+        left = self._buffers.zeros((batch, padded_nodes + 1), np.int64, "left")
+        right = self._buffers.zeros((batch, padded_nodes + 1), np.int64, "right")
+        mask = self._buffers.zeros((batch, padded_nodes + 1, 1), dtype)
+        for b, e in enumerate(encoded):
+            n = e.n_nodes
+            features[b, 1 : n + 1] = e.features
+            left[b, 1 : n + 1] = e.left
+            right[b, 1 : n + 1] = e.right
+            mask[b, 1 : n + 1, 0] = 1.0
+            # Env splice: the cached base carries a zeroed environment block.
+            if env_features is not None:
+                features[b, 1 : n + 1, env_slice] = env_features
+            else:
+                features[b, 1 : n + 1, env_slice] = [
+                    node.env if node.env is not None else _NEUTRAL_ENV
+                    for node in plans[b].iter_nodes()
+                ]
+        self._batch_count += 1
+        return self._forward(features, left, right, mask, snapshot)
+
+    def _forward(
+        self,
+        features: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        mask: np.ndarray,
+        snapshot: _WeightSnapshot,
+    ) -> np.ndarray:
+        """Raw-numpy mirror of ``TreeConvEncoder`` + the cost head: no
+        ``Tensor`` wrappers, no backward closures, no graph bookkeeping."""
+        batch_idx = np.arange(features.shape[0])[:, None]
+        x = features
+        for weight, bias in snapshot.conv:
+            triple = np.concatenate(
+                (x, x[batch_idx, left], x[batch_idx, right]), axis=-1
+            )
+            x = triple @ weight
+            x += bias
+            np.maximum(x, 0.0, out=x)
+            x *= mask  # hold sentinel and padding rows at zero
+
+        if snapshot.cost_head == "pooled":
+            max_pool = x.max(axis=1)
+            if snapshot.pooling == "max":
+                pooled = max_pool
+            else:
+                counts = np.maximum(mask.sum(axis=1), 1.0)
+                mean_pool = x.sum(axis=1) / counts
+                size_feature = np.log1p(counts) / math.log(64.0)
+                pooled = np.concatenate((max_pool, mean_pool, size_feature), axis=-1)
+            embedding = pooled @ snapshot.fc_w + snapshot.fc_b
+            np.maximum(embedding, 0.0, out=embedding)
+            z = (embedding @ snapshot.cost_w + snapshot.cost_b).reshape(-1)
+        else:
+            # node_sum head: per-node softplus contributions, masked and summed.
+            contributions = np.logaddexp(0.0, x @ snapshot.node_w + snapshot.node_b)
+            contributions *= mask
+            total = contributions.sum(axis=(1, 2))
+            cost = total * snapshot.scale
+            z = (np.log1p(cost) - snapshot.log_mean) / snapshot.log_std
+
+        predicted = np.expm1(z.astype(np.float64) * snapshot.log_std + snapshot.log_mean)
+        return np.maximum(predicted, 0.0)

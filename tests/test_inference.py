@@ -59,6 +59,28 @@ class TestClusterStrategies:
         strategy = ClusterExpectedEnvironment(cluster, n_samples=5, ticks_between=2)
         assert strategy.features() == strategy.features()
 
+    def test_collection_is_eager(self):
+        """Construction samples the window immediately — the cluster-clock
+        advancement happens at a caller-chosen point, not as a hidden side
+        effect of the first features() read."""
+        cluster = Cluster(30, rng=np.random.default_rng(3))
+        before = cluster.cluster_environment().normalized()
+        ClusterExpectedEnvironment(cluster, n_samples=5, ticks_between=2)
+        after = cluster.cluster_environment().normalized()
+        assert before != after  # clock advanced during __init__
+
+    def test_deferred_collection_raises_until_collect(self):
+        cluster = Cluster(30, rng=np.random.default_rng(4))
+        before = cluster.cluster_environment().normalized()
+        strategy = ClusterExpectedEnvironment(
+            cluster, n_samples=5, ticks_between=2, eager=False
+        )
+        assert cluster.cluster_environment().normalized() == before
+        with pytest.raises(RuntimeError, match="eager=False"):
+            strategy.features()
+        strategy.collect()
+        assert all(0.0 <= f <= 1.0 for f in strategy.features())
+
     def test_current_environment_tracks_cluster(self):
         cluster = Cluster(30, rng=np.random.default_rng(2))
         strategy = ClusterCurrentEnvironment(cluster)

@@ -1,0 +1,301 @@
+"""Tests for the online serving layer (batched, cached cost inference).
+
+Covers the PR's equivalence guarantees:
+
+(a) env-spliced cached encodings are bitwise-equal to full re-encoding;
+(b) bucketed float32 batch predictions match the naive autodiff path within
+    float32 tolerance (and a float64 service matches far tighter);
+(c) cache eviction and invalidation behave under LRU pressure;
+
+plus the ``TreeBatch`` child-index validation bugfix and the serving-layer
+routing of ``AdaptiveCostPredictor.predict``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import PlanEncoder
+from repro.core.predictor import AdaptiveCostPredictor, PredictorConfig
+from repro.nn.tree_conv import TreeBatch
+from repro.serving import (
+    CostInferenceService,
+    LRUCache,
+    plan_fingerprint,
+)
+
+TINY = PredictorConfig(epochs=2, hidden_dims=(16, 16), embedding_dim=8, adversarial=False)
+
+
+@pytest.fixture(scope="module")
+def trained(project_with_history):
+    records = project_with_history.repository.records[:80]
+    plans = [r.plan for r in records]
+    costs = [r.cpu_cost for r in records]
+    predictor = AdaptiveCostPredictor(config=TINY)
+    predictor.fit(plans, costs)
+    return predictor, plans
+
+
+# -- (a) encode-once + env splice ------------------------------------------------
+
+
+class TestEnvSpliceEquivalence:
+    def test_spliced_cache_bitwise_equals_full_reencode(self, trained):
+        predictor, plans = trained
+        service = predictor.serving
+        encoder = predictor.encoder
+        env = (0.7, 0.02, 0.9, 0.4)
+        for plan in plans[:10]:
+            base = service._encoded_base(plan, plan_fingerprint(plan))
+            spliced = base.features.copy()
+            spliced[:, encoder.env_slice] = env
+            reference = encoder.encode_plan_reference(plan, env_override=env)
+            assert (spliced == reference.features).all()
+            assert (base.left == reference.left).all()
+            assert (base.right == reference.right).all()
+
+    def test_vectorized_encoding_bitwise_equals_reference(self, trained):
+        _, plans = trained
+        encoder = PlanEncoder()
+        for plan in plans[:10]:
+            for env in (None, (0.25, 0.5, 0.75, 1.0)):
+                fast = encoder.encode_plan(plan, env_override=env)
+                ref = encoder.encode_plan_reference(plan, env_override=env)
+                assert (fast.features == ref.features).all()
+                assert (fast.left == ref.left).all()
+                assert (fast.right == ref.right).all()
+
+    def test_cache_hit_on_second_request(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(predictor)
+        service.predict(plans[:5], env_features=(0.5, 0.05, 0.5, 0.5))
+        misses = service.encoding_cache.misses
+        service.predict(plans[:5], env_features=(0.1, 0.2, 0.3, 0.4))
+        assert service.encoding_cache.misses == misses  # no re-encoding
+        assert service.encoding_cache.hits >= 5
+
+    def test_logged_env_read_fresh_after_mutation(self, trained):
+        """env_features=None must reflect *current* node.env annotations even
+        when the base encoding was cached before the mutation."""
+        predictor, plans = trained
+        plan = plans[0].clone()
+        service = CostInferenceService(predictor, enable_prediction_cache=False)
+        before = service.predict([plan])[0]
+        for node in plan.iter_nodes():
+            node.env = (1.0, 0.0, 0.0, 0.0)
+        after = service.predict([plan])[0]
+        baseline = predictor.predict_baseline([plan])[0]
+        assert after != before
+        np.testing.assert_allclose(after, baseline, rtol=1e-5)
+
+
+# -- (b) bucketed batching matches the naive path -------------------------------
+
+
+class TestPredictionEquivalence:
+    def test_float32_service_matches_baseline(self, trained):
+        predictor, plans = trained
+        mixed = plans[:16]  # varied node counts -> multiple size buckets
+        for env in (None, (0.5, 0.05, 0.5, 0.5), (1.0, 0.0, 0.0, 0.0)):
+            fast = predictor.predict(mixed, env_features=env)
+            naive = predictor.predict_baseline(mixed, env_features=env)
+            np.testing.assert_allclose(fast, naive, rtol=1e-5)
+
+    def test_float64_service_matches_tightly(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(predictor, dtype=np.float64)
+        fast = service.predict(plans[:16], env_features=(0.5, 0.05, 0.5, 0.5))
+        naive = predictor.predict_baseline(plans[:16], env_features=(0.5, 0.05, 0.5, 0.5))
+        np.testing.assert_allclose(fast, naive, rtol=1e-9)
+
+    def test_bucketing_independent_of_batch_composition(self, trained):
+        """A plan's prediction must not depend on which other plans share the
+        request (padding rows are masked)."""
+        predictor, plans = trained
+        service = CostInferenceService(predictor, enable_prediction_cache=False)
+        env = (0.5, 0.05, 0.5, 0.5)
+        alone = service.predict([plans[0]], env_features=env)[0]
+        together = service.predict(plans[:16], env_features=env)[0]
+        np.testing.assert_allclose(alone, together, rtol=1e-6)
+
+    def test_warm_prediction_cache_identical(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(predictor)
+        env = (0.5, 0.05, 0.5, 0.5)
+        cold = service.predict(plans[:8], env_features=env)
+        hits_before = service.prediction_cache.hits
+        warm = service.predict(plans[:8], env_features=env)
+        assert service.prediction_cache.hits >= hits_before + 8
+        np.testing.assert_array_equal(cold, warm)
+
+    def test_select_best_consistent_with_predict(self, trained):
+        predictor, plans = trained
+        env = (0.5, 0.05, 0.5, 0.5)
+        chosen, predictions = predictor.select_best(plans[:6], env_features=env)
+        assert chosen is plans[:6][int(np.argmin(predictions))]
+        index, predictions2 = predictor.serving.select_best_index(plans[:6], env_features=env)
+        assert index == int(np.argmin(predictions2))
+
+    def test_refit_invalidates_weight_snapshot(self, trained, project_with_history):
+        records = project_with_history.repository.records[:40]
+        plans = [r.plan for r in records]
+        costs = [r.cpu_cost for r in records]
+        predictor = AdaptiveCostPredictor(config=TINY)
+        predictor.fit(plans, costs)
+        before = predictor.predict(plans[:6], env_features=(0.5, 0.05, 0.5, 0.5))
+        predictor.fit(plans, [c * 40.0 for c in costs])
+        after = predictor.predict(plans[:6], env_features=(0.5, 0.05, 0.5, 0.5))
+        naive = predictor.predict_baseline(plans[:6], env_features=(0.5, 0.05, 0.5, 0.5))
+        assert not np.allclose(before, after)
+        np.testing.assert_allclose(after, naive, rtol=1e-5)
+
+    def test_empty_request(self, trained):
+        predictor, _ = trained
+        assert predictor.predict([]).shape == (0,)
+
+
+# -- (c) LRU pressure -----------------------------------------------------------
+
+
+class TestCacheBehaviour:
+    def test_lru_evicts_oldest(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert cache.evictions == 1
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_lru_access_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "a" now most-recent; "b" is eviction candidate
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_invalidate(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert cache.get("a") is None
+
+    def test_service_under_lru_pressure_stays_correct(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(
+            predictor, encoding_cache_size=4, prediction_cache_size=4
+        )
+        env = (0.5, 0.05, 0.5, 0.5)
+        many = plans[:20]
+        out = service.predict(many, env_features=env)
+        assert service.encoding_cache.evictions > 0
+        naive = predictor.predict_baseline(many, env_features=env)
+        np.testing.assert_allclose(out, naive, rtol=1e-5)
+        # A second pass re-encodes what was evicted but stays correct.
+        again = service.predict(many, env_features=env)
+        np.testing.assert_allclose(again, naive, rtol=1e-5)
+
+    def test_clear_caches(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(predictor)
+        service.predict(plans[:4], env_features=(0.5, 0.05, 0.5, 0.5))
+        assert len(service.encoding_cache) > 0
+        service.clear_caches()
+        assert len(service.encoding_cache) == 0
+        assert len(service.prediction_cache) == 0
+
+    def test_stats_counters(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(predictor)
+        service.predict(plans[:6], env_features=(0.5, 0.05, 0.5, 0.5))
+        service.predict(plans[:6], env_features=(0.5, 0.05, 0.5, 0.5))
+        stats = service.stats()
+        assert stats.requests == 2
+        assert stats.plans_scored == 12
+        assert stats.prediction_hits >= 6
+        assert stats.p50_latency_ms >= 0.0
+        assert stats.p99_latency_ms >= stats.p50_latency_ms
+        assert 0.0 <= stats.encode_hit_rate <= 1.0
+        assert stats.as_dict()["requests"] == 2
+
+
+# -- fingerprinting --------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_identical_structure_same_key(self, trained):
+        _, plans = trained
+        assert plan_fingerprint(plans[0]) == plan_fingerprint(plans[0].clone())
+
+    def test_different_plans_different_keys(self, trained):
+        _, plans = trained
+        keys = {plan_fingerprint(p) for p in plans[:20]}
+        signatures = {p.structural_signature() for p in plans[:20]}
+        assert len(keys) == len(signatures)
+
+    def test_env_annotations_do_not_affect_key(self, trained):
+        _, plans = trained
+        plan = plans[0].clone()
+        key = plan_fingerprint(plan)
+        for node in plan.iter_nodes():
+            node.env = (0.9, 0.9, 0.9, 0.9)
+        assert plan_fingerprint(plan) == key
+
+
+# -- TreeBatch validation (satellite bugfix) -------------------------------------
+
+
+class TestTreeBatchValidation:
+    def _tree(self, n: int, dim: int = 4):
+        features = np.ones((n, dim))
+        left = np.zeros(n, dtype=np.int64)
+        right = np.zeros(n, dtype=np.int64)
+        return features, left, right
+
+    def test_valid_tree_accepted(self):
+        f, l, r = self._tree(3)
+        l[0], r[0] = 2, 3
+        batch = TreeBatch.from_trees([(f, l, r)])
+        assert batch.batch_size == 1
+
+    def test_out_of_range_left_rejected(self):
+        f, l, r = self._tree(3)
+        l[0] = 4  # only rows 0..3 exist
+        with pytest.raises(ValueError, match="left child indices"):
+            TreeBatch.from_trees([(f, l, r)])
+
+    def test_negative_right_rejected(self):
+        f, l, r = self._tree(3)
+        r[1] = -1
+        with pytest.raises(ValueError, match="right child indices"):
+            TreeBatch.from_trees([(f, l, r)])
+
+    def test_pad_to_below_largest_rejected(self):
+        f, l, r = self._tree(5)
+        with pytest.raises(ValueError, match="pad_to"):
+            TreeBatch.from_trees([(f, l, r)], pad_to=3)
+
+    def test_pad_to_and_dtype(self):
+        f, l, r = self._tree(3)
+        batch = TreeBatch.from_trees([(f, l, r)], dtype=np.float32, pad_to=8)
+        assert batch.features.shape == (1, 9, 4)
+        assert batch.features.dtype == np.float32
+        assert batch.mask[0, :, 0].sum() == 3.0
+
+    def test_bucket_indices_grouping(self):
+        buckets = TreeBatch.bucket_indices([3, 5, 9, 40, 8, 2])
+        as_dict = {size: idx for size, idx in buckets}
+        assert as_dict[8] == [0, 1, 4, 5]
+        assert as_dict[16] == [2]
+        assert as_dict[64] == [3]
+
+    def test_bucket_indices_max_batch_split(self):
+        buckets = TreeBatch.bucket_indices([4] * 5, max_batch=2)
+        assert [len(idx) for _, idx in buckets] == [2, 2, 1]
+        assert sorted(i for _, idx in buckets for i in idx) == [0, 1, 2, 3, 4]

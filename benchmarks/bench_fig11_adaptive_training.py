@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from conftest import PROJECT_NAMES, print_banner, train_loam
-from repro.evaluation.harness import evaluate_methods
+from conftest import PROJECT_NAMES, loam_config, print_banner
+from repro.evaluation.parallel import EvalTask, run_tasks
 from repro.evaluation.reporting import format_table
+from repro.evaluation.tasks import adaptive_ablation_task
 
 HIGH_SPACE = ("project1", "project2", "project5")
 
@@ -21,20 +22,23 @@ def test_fig11_adaptive_training_ablation(
     benchmark, eval_projects, measured_candidates, trained_loams, scale
 ):
     def run():
-        all_results = {}
-        for name in PROJECT_NAMES:
-            loam = trained_loams[name]
-            loam_na = train_loam(eval_projects[name], scale, adversarial=False)
-            all_results[name] = evaluate_methods(
-                eval_projects[name],
-                {"loam": loam.predictor, "loam-na": loam_na.predictor},
-                env_features={
-                    "loam": loam.environment.features(),
-                    "loam-na": loam_na.environment.features(),
+        # Each task trains the LOAM-NA ablation for one project and scores
+        # it against that project's adversarially trained LOAM.
+        tasks = [
+            EvalTask(
+                key=name,
+                fn=adaptive_ablation_task,
+                args=(eval_projects[name], trained_loams[name], loam_config(scale)),
+                kwargs={
+                    "first_day": 0,
+                    "last_day": scale.train_days - 1,
+                    "measured": measured_candidates[name],
                 },
-                measured=measured_candidates[name],
+                seed=0,
             )
-        return all_results
+            for name in PROJECT_NAMES
+        ]
+        return run_tasks(tasks)
 
     all_results = benchmark.pedantic(run, rounds=1, iterations=1)
 

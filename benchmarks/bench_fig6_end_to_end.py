@@ -17,8 +17,9 @@ from __future__ import annotations
 import numpy as np
 
 from conftest import PROJECT_NAMES, print_banner
-from repro.evaluation.harness import evaluate_methods
+from repro.evaluation.parallel import EvalTask, run_tasks
 from repro.evaluation.reporting import format_table
+from repro.evaluation.tasks import evaluate_project_task
 
 HIGH_SPACE = ("project1", "project2", "project5")
 LOW_SPACE = ("project3", "project4")
@@ -28,20 +29,26 @@ def test_fig6_end_to_end_cpu_cost(
     benchmark, eval_projects, measured_candidates, trained_loams, trained_baselines
 ):
     def run():
-        all_results = {}
+        tasks = []
         for name in PROJECT_NAMES:
             loam = trained_loams[name]
             methods = {"loam": loam.predictor, **trained_baselines[name]}
             env = {
                 method: loam.environment.features() for method in methods
             }
-            all_results[name] = evaluate_methods(
-                eval_projects[name],
-                methods,
-                env_features=env,
-                measured=measured_candidates[name],
+            tasks.append(
+                EvalTask(
+                    key=name,
+                    fn=evaluate_project_task,
+                    args=(eval_projects[name], methods),
+                    kwargs={
+                        "env_features": env,
+                        "measured": measured_candidates[name],
+                    },
+                    seed=0,
+                )
             )
-        return all_results
+        return run_tasks(tasks)
 
     all_results = benchmark.pedantic(run, rounds=1, iterations=1)
 

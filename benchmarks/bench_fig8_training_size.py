@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from conftest import print_banner, train_loam
+from conftest import loam_config, print_banner
 from repro.evaluation.harness import evaluate_methods
+from repro.evaluation.parallel import EvalTask, run_tasks
 from repro.evaluation.reporting import format_series
+from repro.evaluation.tasks import training_size_improvement_task
 
 SWEEP_PROJECTS = ("project1", "project2", "project4")
 
@@ -22,28 +24,39 @@ def test_fig8_training_data_size(benchmark, eval_projects, measured_candidates, 
     fractions = (0.25, 0.5, 1.0)
 
     def run():
+        # One task per (project, training-set size) cell, all independent.
+        sizes = {
+            name: [
+                max(30, int(len(eval_projects[name].train_records) * fraction))
+                for fraction in fractions
+            ]
+            for name in SWEEP_PROJECTS
+        }
+        tasks = [
+            EvalTask(
+                key=f"{name}@{fraction}",
+                fn=training_size_improvement_task,
+                args=(eval_projects[name], loam_config(scale)),
+                kwargs={
+                    "n_training": n,
+                    "first_day": 0,
+                    "last_day": scale.train_days - 1,
+                    "measured": measured_candidates[name],
+                },
+                seed=0,
+            )
+            for name in SWEEP_PROJECTS
+            for fraction, n in zip(fractions, sizes[name])
+        ]
+        improvements = run_tasks(tasks)
         series = {}
         for name in SWEEP_PROJECTS:
-            project = eval_projects[name]
-            max_n = len(project.train_records)
-            improvements, sizes = [], []
-            for fraction in fractions:
-                n = max(30, int(max_n * fraction))
-                loam = train_loam(project, scale, max_training_queries=n)
-                results = evaluate_methods(
-                    project,
-                    {"loam": loam.predictor},
-                    env_features={"loam": loam.environment.features()},
-                    measured=measured_candidates[name],
-                )
-                improvements.append(
-                    results["loam"].improvement_over(results["native"])
-                )
-                sizes.append(n)
-            oracle = evaluate_methods(project, {}, measured=measured_candidates[name])
+            oracle = evaluate_methods(
+                eval_projects[name], {}, measured=measured_candidates[name]
+            )
             series[name] = (
-                sizes,
-                improvements,
+                sizes[name],
+                [improvements[f"{name}@{fraction}"] for fraction in fractions],
                 oracle["oracle"].improvement_over(oracle["native"]),
             )
         return series

@@ -50,6 +50,19 @@ def test_fig9_overheads(benchmark, eval_projects, measured_candidates, trained_l
 
     print_banner("Figure 9a - training time (s)")
     print(table(train_time, lambda v: f"{v:.1f}"))
+    print("\nLOAM training throughput (fast fit() path):")
+    rows = []
+    for project in PROJECT_NAMES:
+        report = trained_loams[project].predictor.report
+        rows.append(
+            [
+                project,
+                f"{report.n_batches}",
+                f"{report.steps_per_second:,.1f}",
+                "fast" if report.fast_path else "reference",
+            ]
+        )
+    print(format_table(["project", "batches", "steps/s", "path"], rows))
     print_banner("Figure 9b - model footprint (MB)")
     print(table(model_size, lambda v: f"{v:.2f}"))
     print_banner("Figure 9c - average inference time per query (s)")
@@ -75,12 +88,13 @@ def test_fig9_overheads(benchmark, eval_projects, measured_candidates, trained_l
 
     # Shape assertions.
     for project in PROJECT_NAMES:
-        # The GBDT trains much faster than the adversarially-trained LOAM
-        # model.  (The paper's XGBoost also beats Transformer/GCN by orders
-        # of magnitude, but that reflects libxgboost's C++ core; our
+        # The paper's XGBoost out-trains Transformer/GCN/LOAM by orders of
+        # magnitude, but that reflects libxgboost's C++ core; our
         # from-scratch numpy GBDT is only same-order with the small neural
-        # baselines.)
-        assert train_time["xgboost"][project] < train_time["loam"][project]
+        # baselines, and LOAM's fused fit() fast path now out-trains it
+        # (see docs/PERFORMANCE.md) — pin that speedup here.
+        assert train_time["loam"][project] < train_time["xgboost"][project]
+        assert trained_loams[project].predictor.report.fast_path
         # Everything trains in "well under an hour".
         for method in ("loam", "transformer", "gcn", "xgboost"):
             assert train_time[method][project] < 3600

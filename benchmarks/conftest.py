@@ -20,7 +20,9 @@ from repro.evaluation.harness import (
     build_evaluation_project,
     measure_candidates,
 )
+from repro.evaluation.parallel import EvalTask, run_tasks
 from repro.evaluation.projects import evaluation_profiles
+from repro.evaluation.tasks import train_loam_task
 
 PROJECT_NAMES = ("project1", "project2", "project3", "project4", "project5")
 
@@ -85,8 +87,21 @@ def train_loam(
 
 @pytest.fixture(scope="session")
 def trained_loams(eval_projects, scale) -> dict[str, LOAM]:
-    """One trained LOAM per evaluation project (reused by Figures 6-11)."""
-    return {name: train_loam(project, scale) for name, project in eval_projects.items()}
+    """One trained LOAM per evaluation project (reused by Figures 6-11).
+
+    Training runs through the process-parallel harness — one task per
+    project, seeds pinned to 0 to match what serial ``train_loam`` trains."""
+    tasks = [
+        EvalTask(
+            key=name,
+            fn=train_loam_task,
+            args=(project, loam_config(scale)),
+            kwargs={"first_day": 0, "last_day": scale.train_days - 1},
+            seed=0,
+        )
+        for name, project in eval_projects.items()
+    ]
+    return run_tasks(tasks)
 
 
 @pytest.fixture(scope="session")

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 gate + serving-throughput benchmark, sized for CI.
+# Tier-1 gate + serving- and training-throughput benchmarks, sized for CI.
 #
 # Runs the full unit/integration suite at REPRO_SCALE=smoke, then the
-# serving-layer throughput benchmark, which writes a BENCH_serving.json
-# artifact (plans/sec, p50/p99 latency, cold/warm speedups, cache stats)
-# so successive PRs can track the serving trajectory.
+# serving-layer throughput benchmark (BENCH_serving.json: plans/sec,
+# p50/p99 latency, cold/warm speedups, cache stats) and the training-loop
+# throughput benchmark (BENCH_training.json: fit seconds, epoch seconds,
+# steps/sec, fast-vs-reference speedup) so successive PRs can track both
+# trajectories.
 #
 # Usage:
-#   benchmarks/run_bench.sh                  # artifact -> benchmarks/BENCH_serving.json
+#   benchmarks/run_bench.sh                  # artifacts -> benchmarks/BENCH_*.json
 #   BENCH_SERVING_OUT=/tmp/b.json benchmarks/run_bench.sh
 #   REPRO_SCALE=small benchmarks/run_bench.sh  # bigger workload, same gates
 
@@ -17,6 +19,7 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 export REPRO_SCALE="${REPRO_SCALE:-smoke}"
 export PYTHONPATH="${REPO_ROOT}/src${PYTHONPATH:+:${PYTHONPATH}}"
 export BENCH_SERVING_OUT="${BENCH_SERVING_OUT:-${REPO_ROOT}/benchmarks/BENCH_serving.json}"
+export BENCH_TRAINING_OUT="${BENCH_TRAINING_OUT:-${REPO_ROOT}/benchmarks/BENCH_training.json}"
 
 echo "== tier-1 tests (REPRO_SCALE=${REPRO_SCALE}) =="
 python -m pytest "${REPO_ROOT}/tests" -x -q
@@ -26,7 +29,11 @@ echo "== serving throughput benchmark =="
 (cd "${REPO_ROOT}/benchmarks" && python -m pytest bench_serving_throughput.py -q -s)
 
 echo
-echo "== artifact =="
+echo "== training throughput benchmark =="
+(cd "${REPO_ROOT}/benchmarks" && python -m pytest bench_training_throughput.py -q -s)
+
+echo
+echo "== artifacts =="
 echo "${BENCH_SERVING_OUT}"
 python - "${BENCH_SERVING_OUT}" <<'EOF'
 import json, sys
@@ -38,5 +45,18 @@ print(
     f"cold {artifact['cold']['plans_per_sec']:,.0f} plans/s "
     f"({artifact['cold_speedup']:.1f}x), "
     f"naive {artifact['naive']['plans_per_sec']:,.0f} plans/s"
+)
+EOF
+echo "${BENCH_TRAINING_OUT}"
+python - "${BENCH_TRAINING_OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    artifact = json.load(fh)
+print(
+    f"fast fit {artifact['fast']['fit_seconds']:.2f} s "
+    f"({artifact['fast']['steps_per_second']:.1f} steps/s), "
+    f"reference {artifact['reference']['fit_seconds']:.2f} s, "
+    f"speedup {artifact['speedup']:.2f}x, "
+    f"trajectory max rel err {artifact['loss_trajectory_max_rel_err']:.1e}"
 )
 EOF

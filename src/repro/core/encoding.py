@@ -156,7 +156,27 @@ class PlanEncoder:
         plans: list[PhysicalPlan],
         *,
         env_override: tuple[float, float, float, float] | None = None,
+        env_overrides: "list[tuple[float, float, float, float] | None] | None" = None,
     ) -> list[EncodedPlan]:
+        """Encode a batch of plans.
+
+        ``env_override`` applies one environment block to every plan;
+        ``env_overrides`` supplies one per plan (``None`` entries fall back to
+        each node's logged environment) — the batched form the training loop
+        uses to encode candidate plans under sampled environments without a
+        per-plan ``encode_plan`` call site.  The two are mutually exclusive.
+        """
+        if env_overrides is not None:
+            if env_override is not None:
+                raise ValueError("pass either env_override or env_overrides, not both")
+            if len(env_overrides) != len(plans):
+                raise ValueError(
+                    f"env_overrides length {len(env_overrides)} != plans length {len(plans)}"
+                )
+            return [
+                self.encode_plan(p, env_override=env)
+                for p, env in zip(plans, env_overrides)
+            ]
         return [self.encode_plan(p, env_override=env_override) for p in plans]
 
     def encode_plan_reference(

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.encoding import EncodedPlan, PlanEncoder
-from repro.nn.autodiff import Tensor, no_grad, relu
+from repro.nn.autodiff import Tensor, concat, no_grad, relu
 from repro.nn.grl import GradientReversal
 from repro.nn.layers import Linear, Module, ReLU, Sequential
 from repro.nn.losses import cross_entropy_loss, mse_loss
@@ -84,6 +84,12 @@ class TrainingReport:
     train_seconds: float = 0.0
     n_default_plans: int = 0
     n_candidate_plans: int = 0
+    #: Optimizer steps taken across all epochs.
+    n_batches: int = 0
+    #: n_batches / train_seconds (Figure 9's training-throughput row).
+    steps_per_second: float = 0.0
+    #: Whether the bucketed prebuilt-buffer path was used (False = reference).
+    fast_path: bool = True
 
 
 def _softplus(x: Tensor) -> Tensor:
@@ -193,9 +199,28 @@ class AdaptiveCostPredictor:
         default_plans: list[PhysicalPlan],
         costs: list[float] | np.ndarray,
         candidate_plans: list[PhysicalPlan] | None = None,
+        *,
+        fast_path: bool = True,
     ) -> TrainingReport:
         """Train on executed default plans; align domains against unexecuted
-        candidate plans (which need no cost labels)."""
+        candidate plans (which need no cost labels).
+
+        Mini-batches are global-permutation chunks, exactly as the training
+        dynamics were tuned (size-homogeneous batches measurably degrade the
+        learned model: plan size correlates with cost, so bucketing batch
+        *composition* starves each step of label diversity).  With
+        ``fast_path=True`` (default) the encoded plans are size-bucketed into
+        padded float32 buffers prebuilt once before the first epoch; a batch
+        is assembled from a few vectorized bucket-slice copies trimmed to the
+        batch's largest tree, the conv stack runs through the fused tree-conv
+        op, and the cost-forward embeddings are reused for the domain loss.
+        ``fast_path=False`` is the reference: per-batch Python list assembly
+        through ``TreeBatch.from_trees``, the unfused op-by-op autodiff chain,
+        and a full re-forward of defaults for the domain batch.  The two paths
+        consume the RNG identically and compute the same math, so their loss
+        trajectories agree to float32 round-off (gated in the tests and in
+        ``benchmarks/bench_training_throughput.py``).
+        """
         if len(default_plans) != len(costs):
             raise ValueError("plans and costs must have equal length")
         if len(default_plans) == 0:
@@ -226,10 +251,13 @@ class AdaptiveCostPredictor:
                 for node in plan.iter_nodes()
                 if node.env is not None
             ]
-            encoded_candidates = []
-            for plan in candidate_plans:
-                env = env_pool[int(self._rng.integers(0, len(env_pool)))] if env_pool else None
-                encoded_candidates.append(self.encoder.encode_plan(plan, env_override=env))
+            overrides = [
+                env_pool[int(self._rng.integers(0, len(env_pool)))] if env_pool else None
+                for _ in candidate_plans
+            ]
+            encoded_candidates = self.encoder.encode_plans(
+                candidate_plans, env_overrides=overrides
+            )
         else:
             zero = (0.0, 0.0, 0.0, 0.0)
             encoded_defaults = self.encoder.encode_plans(default_plans, env_override=zero)
@@ -238,6 +266,7 @@ class AdaptiveCostPredictor:
         report = TrainingReport(
             n_default_plans=len(default_plans),
             n_candidate_plans=len(candidate_plans),
+            fast_path=fast_path,
         )
         started = time.perf_counter()
 
@@ -248,6 +277,12 @@ class AdaptiveCostPredictor:
         total_steps = max(1, self.config.epochs * max(1, n // batch))
         step = 0
         cost_ema, dom_ema = 1.0, 1.0
+
+        default_buffers = cand_buffers = None
+        if fast_path:
+            default_buffers = _PaddedPlanBuffers(encoded_defaults)
+            if adversarial:
+                cand_buffers = _PaddedPlanBuffers(encoded_candidates)
 
         self.module.train()
         for epoch in range(self.config.epochs):
@@ -260,20 +295,38 @@ class AdaptiveCostPredictor:
                 step += 1
                 self.module.grl.set_progress(step / total_steps)
                 self.module.grl.lam *= self.config.grl_strength
-                defaults = [encoded_defaults[i] for i in idx]
-                tree_batch = _to_tree_batch(defaults)
-                nodes, embedding = self.module.embed_with_nodes(tree_batch)
+                if adversarial:
+                    k = min(len(encoded_candidates), len(idx))
+                    cand_idx = self._rng.choice(
+                        len(encoded_candidates), size=k, replace=False
+                    )
+
+                if fast_path:
+                    tree_batch = default_buffers.batch(idx)
+                    nodes = self.module.plan_emb.node_representations_fused(tree_batch)
+                    embedding = self.module.plan_emb.pool(nodes, tree_batch)
+                else:
+                    defaults = [encoded_defaults[i] for i in idx]
+                    tree_batch = _to_tree_batch(defaults)
+                    nodes, embedding = self.module.embed_with_nodes(tree_batch)
                 cost_out = self.module.predict_cost(nodes, embedding, tree_batch)
                 loss_c = mse_loss(cost_out, targets[idx])
 
                 if adversarial:
-                    k = min(len(encoded_candidates), len(idx))
-                    cand_idx = self._rng.choice(len(encoded_candidates), size=k, replace=False)
-                    cands = [encoded_candidates[i] for i in cand_idx]
-                    dom_batch = _to_tree_batch(defaults + cands)
-                    dom_embedding = self.module.embed(dom_batch)
+                    if fast_path:
+                        # Reuse the cost-forward embeddings for the domain
+                        # half: computing f(x) once or twice yields identical
+                        # values and, by linearity of accumulation, identical
+                        # parameter gradients.
+                        cand_batch = cand_buffers.batch(cand_idx)
+                        cand_emb = self.module.plan_emb.embed_fused(cand_batch)
+                        dom_embedding = concat([embedding, cand_emb], axis=0)
+                    else:
+                        cands = [encoded_candidates[i] for i in cand_idx]
+                        dom_batch = _to_tree_batch(defaults + cands)
+                        dom_embedding = self.module.embed(dom_batch)
                     logits = self.module.classify_domain(dom_embedding)
-                    labels = np.concatenate([np.zeros(len(defaults)), np.ones(k)]).astype(int)
+                    labels = np.concatenate([np.zeros(len(idx)), np.ones(k)]).astype(int)
                     loss_d = cross_entropy_loss(logits, labels)
                     # Automatic loss balancing from running scales (Eq. 1).
                     cost_ema = 0.95 * cost_ema + 0.05 * loss_c.item()
@@ -294,8 +347,10 @@ class AdaptiveCostPredictor:
             scheduler.step()
             report.cost_losses.append(epoch_cost / max(1, n_batches))
             report.domain_losses.append(epoch_dom / max(1, n_batches))
+            report.n_batches += n_batches
 
         report.train_seconds = time.perf_counter() - started
+        report.steps_per_second = report.n_batches / max(report.train_seconds, 1e-9)
         self.report = report
         self.module.eval()
         self.weights_version += 1
@@ -373,3 +428,62 @@ class AdaptiveCostPredictor:
 
 def _to_tree_batch(encoded: list[EncodedPlan]) -> TreeBatch:
     return TreeBatch.from_trees([(e.features, e.left, e.right) for e in encoded])
+
+
+class _PaddedPlanBuffers:
+    """Size-bucketed padded float32 training buffers, prebuilt once per fit().
+
+    ``TreeBatch.from_trees`` — the per-tree Python assembly loop with child
+    validation — runs once per size bucket here instead of once per
+    mini-batch per epoch.  Buckets only organize *storage* (a 5-node plan is
+    never stored padded to a 40-node straggler); mini-batch composition stays
+    a global permutation, and :meth:`batch` assembles a mixed-size batch with
+    one vectorized slice copy per bucket present, trimmed to the batch's
+    largest tree — the same padding ``from_trees`` would produce."""
+
+    def __init__(
+        self,
+        encoded: list[EncodedPlan],
+        *,
+        dtype: np.dtype | type = np.float32,
+    ) -> None:
+        self._dtype = dtype
+        self._n_nodes = np.array([e.n_nodes for e in encoded], dtype=np.int64)
+        self._bucket = np.zeros(len(encoded), dtype=np.int64)
+        self._row = np.zeros(len(encoded), dtype=np.int64)
+        self._batches: list[TreeBatch] = []
+        for bucket_id, (size, members) in enumerate(
+            TreeBatch.bucket_indices([e.n_nodes for e in encoded])
+        ):
+            for pos, g in enumerate(members):
+                self._bucket[g] = bucket_id
+                self._row[g] = pos
+            self._batches.append(
+                TreeBatch.from_trees(
+                    [(encoded[g].features, encoded[g].left, encoded[g].right) for g in members],
+                    dtype=dtype,
+                    pad_to=size,
+                )
+            )
+
+    def batch(self, indices: np.ndarray) -> TreeBatch:
+        """A mini-batch TreeBatch gathered by *global* plan indices."""
+        indices = np.asarray(indices)
+        width = int(self._n_nodes[indices].max()) + 1
+        n_rows = len(indices)
+        dim = self._batches[0].feature_dim
+        features = np.zeros((n_rows, width, dim), dtype=self._dtype)
+        left = np.zeros((n_rows, width), dtype=np.int64)
+        right = np.zeros((n_rows, width), dtype=np.int64)
+        mask = np.zeros((n_rows, width, 1), dtype=self._dtype)
+        batch_buckets = self._bucket[indices]
+        for bucket_id in np.unique(batch_buckets):
+            sel = np.nonzero(batch_buckets == bucket_id)[0]
+            rows = self._row[indices[sel]]
+            src = self._batches[bucket_id]
+            w = min(width, src.features.shape[1])
+            features[sel, :w] = src.features[rows, :w]
+            left[sel, :w] = src.left[rows, :w]
+            right[sel, :w] = src.right[rows, :w]
+            mask[sel, :w] = src.mask[rows, :w]
+        return TreeBatch(features=features, left=left, right=right, mask=mask)

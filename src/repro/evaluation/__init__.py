@@ -7,6 +7,9 @@
   Table 1 and the larger project pools used for Ranker studies;
 * :mod:`repro.evaluation.harness` — train/test protocols, method
   comparisons, and improvement-space computation;
+* :mod:`repro.evaluation.parallel` — process-pool execution of independent
+  (project × method) tasks with deterministic per-task seeds;
+* :mod:`repro.evaluation.tasks` — picklable task functions for the pool;
 * :mod:`repro.evaluation.reporting` — plain-text tables/series matching
   the paper's figures.
 """
@@ -19,19 +22,31 @@ from repro.evaluation.harness import (
     compute_improvement_space,
     evaluate_methods,
 )
+from repro.evaluation.parallel import (
+    EvalTask,
+    ParallelEvaluationError,
+    TaskFailure,
+    derive_seed,
+    run_tasks,
+)
 from repro.evaluation.projects import evaluation_profiles, ranker_pool_profiles
 from repro.evaluation.reporting import format_series, format_table
 
 __all__ = [
+    "EvalTask",
     "EvaluationProject",
     "ExperimentScale",
     "MethodResult",
+    "ParallelEvaluationError",
+    "TaskFailure",
     "build_evaluation_project",
     "compute_improvement_space",
     "current_scale",
+    "derive_seed",
     "evaluate_methods",
     "evaluation_profiles",
     "format_series",
     "format_table",
     "ranker_pool_profiles",
+    "run_tasks",
 ]

@@ -1,0 +1,198 @@
+"""Process-parallel execution of independent evaluation tasks.
+
+The evaluation figures train and score (project × method) combinations that
+are completely independent of each other: each task owns its models and its
+RNG, and nothing in the library touches global random state.  That makes the
+sweep embarrassingly parallel — this module maps tasks over a fork-based
+process pool with
+
+* **deterministic seeding** — a task either pins its seed or derives one
+  from ``(base_seed, task key)`` via SHA-256, so results are identical
+  regardless of worker count, scheduling order, or serial/parallel mode;
+* **single-threaded BLAS in workers** — process-level parallelism composes
+  multiplicatively with BLAS threads; pinning workers to one BLAS thread
+  avoids oversubscribing the machine ``workers × blas_threads`` ways;
+* **serial fallback** — ``processes=1`` (or platforms without ``fork``)
+  runs the same tasks in-process with the same seeds and the same error
+  handling, so the parallel path never becomes a hard dependency;
+* **structured error propagation** — a worker failure is captured as a
+  :class:`TaskFailure` carrying the remote traceback text and re-raised in
+  the parent as :class:`ParallelEvaluationError` naming the failed task,
+  instead of a bare ``Pool`` exception with no context.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "EvalTask",
+    "TaskFailure",
+    "ParallelEvaluationError",
+    "derive_seed",
+    "resolve_processes",
+    "run_tasks",
+]
+
+#: Environment variables that cap the thread pools of every BLAS/OpenMP
+#: backend numpy might be linked against.
+_BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def derive_seed(base_seed: int, key: str) -> int:
+    """A stable 63-bit seed from ``(base_seed, key)``.
+
+    SHA-256 keeps the mapping independent of Python's per-process hash
+    randomization and spreads adjacent keys across the seed space, so
+    per-task RNG streams are statistically independent yet reproducible
+    from the task key alone.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """One independent unit of evaluation work.
+
+    ``fn`` must be a module-level callable (picklable) accepting
+    ``fn(*args, seed=<int>, **kwargs)``.  ``seed=None`` derives the seed
+    from the task key; pinning an explicit seed reproduces a specific run.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+
+    def resolved_seed(self, base_seed: int) -> int:
+        return self.seed if self.seed is not None else derive_seed(base_seed, self.key)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A task exception captured in the worker, traceback included."""
+
+    key: str
+    exception_type: str
+    message: str
+    traceback_text: str
+
+
+class ParallelEvaluationError(RuntimeError):
+    """Raised in the parent when one or more tasks failed."""
+
+    def __init__(self, failures: list[TaskFailure]) -> None:
+        self.failures = failures
+        keys = ", ".join(f.key for f in failures)
+        detail = "\n\n".join(
+            f"--- task {f.key} ({f.exception_type}: {f.message}) ---\n{f.traceback_text}"
+            for f in failures
+        )
+        super().__init__(f"{len(failures)} evaluation task(s) failed: {keys}\n{detail}")
+
+
+def _pin_blas_threads() -> None:
+    """Best-effort single-thread BLAS pinning for a worker process.
+
+    The environment variables only take effect for pools not yet
+    initialized; ``threadpoolctl`` (when available) additionally caps pools
+    the forked child inherited already warmed up.
+    """
+    for var in _BLAS_ENV_VARS:
+        os.environ[var] = "1"
+    try:  # pragma: no cover - optional dependency
+        import threadpoolctl
+
+        threadpoolctl.threadpool_limits(limits=1)
+    except Exception:
+        pass
+
+
+def _execute(payload: tuple[str, Callable[..., Any], tuple, dict, int]) -> tuple[str, bool, Any]:
+    """Run one task, trapping any exception into a TaskFailure."""
+    key, fn, args, kwargs, seed = payload
+    try:
+        return key, True, fn(*args, seed=seed, **kwargs)
+    except Exception as exc:  # noqa: BLE001 - propagate everything, structured
+        return key, False, TaskFailure(
+            key=key,
+            exception_type=type(exc).__name__,
+            message=str(exc),
+            traceback_text=traceback.format_exc(),
+        )
+
+
+def resolve_processes(n_tasks: int, processes: int | None = None) -> int:
+    """Worker count: explicit argument > ``REPRO_EVAL_PROCESSES`` > CPU count,
+    never more than there are tasks."""
+    if processes is None:
+        env = os.environ.get("REPRO_EVAL_PROCESSES")
+        processes = int(env) if env else (os.cpu_count() or 1)
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    return min(processes, max(1, n_tasks))
+
+
+def run_tasks(
+    tasks: list[EvalTask],
+    *,
+    processes: int | None = None,
+    base_seed: int = 0,
+) -> dict[str, Any]:
+    """Execute ``tasks`` and return ``{task.key: result}``.
+
+    Results are keyed (not ordered), so completion order never matters.
+    Raises :class:`ParallelEvaluationError` if any task failed — after all
+    tasks have finished, so one bad task does not discard its siblings'
+    diagnostics.  Duplicate keys would silently overwrite results and are
+    rejected up front.
+    """
+    keys = [t.key for t in tasks]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"duplicate task keys: {sorted(keys)}")
+    if not tasks:
+        return {}
+    n_workers = resolve_processes(len(tasks), processes)
+    payloads = [(t.key, t.fn, t.args, t.kwargs, t.resolved_seed(base_seed)) for t in tasks]
+
+    outcomes: list[tuple[str, bool, Any]]
+    if n_workers == 1 or not _fork_available():
+        outcomes = [_execute(p) for p in payloads]
+    else:
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork")
+        with ctx.Pool(processes=n_workers, initializer=_pin_blas_threads) as pool:
+            outcomes = list(pool.imap_unordered(_execute, payloads))
+
+    results: dict[str, Any] = {}
+    failures: list[TaskFailure] = []
+    for key, ok, value in outcomes:
+        if ok:
+            results[key] = value
+        else:
+            failures.append(value)
+    if failures:
+        raise ParallelEvaluationError(failures)
+    return results
+
+
+def _fork_available() -> bool:
+    """Fork keeps task functions picklable by reference even when defined in
+    conftest-style modules; without it (e.g. Windows) we run serially rather
+    than risk spawn-mode import failures."""
+    import multiprocessing as mp
+
+    return "fork" in mp.get_all_start_methods()

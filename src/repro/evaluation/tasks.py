@@ -1,0 +1,117 @@
+"""Module-level task functions for the process-parallel evaluation harness.
+
+Each function is one :class:`~repro.evaluation.parallel.EvalTask` unit — the
+(project × method) granularity the evaluation figures sweep over.  They are
+defined here (not in benchmark files) so a fork- or spawn-based worker can
+always pickle them by reference, and every one takes ``seed`` as a keyword
+argument per the harness contract: the seed flows into the predictor config,
+making each task's result a pure function of ``(args, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any
+
+from repro.core.loam import LOAM, LOAMConfig
+from repro.evaluation.harness import EvaluationProject, evaluate_methods
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.evaluation.harness import MethodResult, QueryCandidates
+
+__all__ = [
+    "train_loam_task",
+    "evaluate_project_task",
+    "training_size_improvement_task",
+    "adaptive_ablation_task",
+]
+
+
+def _seeded(config: LOAMConfig, seed: int) -> LOAMConfig:
+    return replace(config, predictor=replace(config.predictor, seed=seed))
+
+
+def train_loam_task(
+    project: EvaluationProject,
+    config: LOAMConfig,
+    *,
+    first_day: int,
+    last_day: int,
+    seed: int,
+) -> LOAM:
+    """Train one project's LOAM on its historical window."""
+    loam = LOAM(project.workload, _seeded(config, seed))
+    loam.train(first_day=first_day, last_day=last_day)
+    return loam
+
+
+def evaluate_project_task(
+    project: EvaluationProject,
+    methods: dict[str, Any],
+    *,
+    env_features: dict[str, tuple[float, float, float, float] | None],
+    measured: "list[QueryCandidates]",
+    seed: int,
+) -> "dict[str, MethodResult]":
+    """Score already-trained methods on one project's shared measurements.
+
+    Scoring is deterministic given the measured pool; ``seed`` is accepted
+    for the harness contract but has nothing left to randomize.
+    """
+    del seed
+    return evaluate_methods(
+        project, methods, env_features=env_features, measured=measured
+    )
+
+
+def training_size_improvement_task(
+    project: EvaluationProject,
+    config: LOAMConfig,
+    *,
+    n_training: int,
+    first_day: int,
+    last_day: int,
+    measured: "list[QueryCandidates]",
+    seed: int,
+) -> float:
+    """Figure 8 cell: train at a capped training-set size, return LOAM's
+    improvement over the native optimizer."""
+    capped = replace(_seeded(config, seed), max_training_queries=n_training)
+    loam = LOAM(project.workload, capped)
+    loam.train(first_day=first_day, last_day=last_day)
+    results = evaluate_methods(
+        project,
+        {"loam": loam.predictor},
+        env_features={"loam": loam.environment.features()},
+        measured=measured,
+    )
+    return results["loam"].improvement_over(results["native"])
+
+
+def adaptive_ablation_task(
+    project: EvaluationProject,
+    loam: LOAM,
+    config: LOAMConfig,
+    *,
+    first_day: int,
+    last_day: int,
+    measured: "list[QueryCandidates]",
+    seed: int,
+) -> "dict[str, MethodResult]":
+    """Figure 11 cell: train the non-adversarial ablation (LOAM-NA) and score
+    it against the given adversarially trained LOAM."""
+    na_config = _seeded(config, seed)
+    na_config = replace(
+        na_config, predictor=replace(na_config.predictor, adversarial=False)
+    )
+    loam_na = LOAM(project.workload, na_config)
+    loam_na.train(first_day=first_day, last_day=last_day)
+    return evaluate_methods(
+        project,
+        {"loam": loam.predictor, "loam-na": loam_na.predictor},
+        env_features={
+            "loam": loam.environment.features(),
+            "loam-na": loam_na.environment.features(),
+        },
+        measured=measured,
+    )

@@ -29,6 +29,7 @@ __all__ = [
     "concat",
     "stack",
     "gather_nodes",
+    "fused_tree_conv",
     "grl",
     "no_grad",
 ]
@@ -395,6 +396,84 @@ def gather_nodes(x: Tensor, index: np.ndarray) -> Tensor:
             x._accumulate(full)
 
     return Tensor._make(out_data, (x,), backward)
+
+
+def fused_tree_conv(
+    x: "Tensor | np.ndarray",
+    left: np.ndarray,
+    right: np.ndarray,
+    mask: np.ndarray,
+    weight: Tensor,
+    bias: Tensor,
+) -> Tensor:
+    """One tree-convolution layer as a single graph node.
+
+    Computes ``relu(concat([x, x[:, left], x[:, right]], -1) @ weight + bias)
+    * mask`` — the gather→concat→matmul→ReLU→mask chain of
+    ``TreeConvEncoder.node_representations`` — recording one backward closure
+    instead of seven.  The forward runs the identical numpy operations in the
+    identical order, so outputs match the unfused chain bitwise for equal
+    input dtypes; the backward is hand-derived:
+
+    * ``gz = grad * mask * (pre > 0)`` (ReLU/mask gate on the preactivation),
+    * ``d weight = triple^T gz`` summed over batch and node axes,
+    * ``d bias = sum(gz)``,
+    * ``d x`` = ``gz @ W_self^T`` plus scatter-adds of ``gz @ W_left^T`` /
+      ``gz @ W_right^T`` at the child indices (the gather transpose).
+
+    ``x`` may be a plain ndarray (e.g. a float32 training buffer slice): the
+    first conv layer's input never needs a gradient, so wrapping it in a
+    ``Tensor`` — which would copy it to float64 — is wasted work.
+
+    Contract: ``left``/``right`` must index *binary trees* — apart from the
+    shared sentinel index 0, no index repeats within a row (a node is the
+    left/right child of at most one parent).  That uniqueness lets the input
+    gradient use a vectorized fancy-index add (duplicated sentinel entries
+    are zeroed and their sum added separately) instead of ``np.add.at``,
+    which is an order of magnitude slower.
+    """
+    x_t = x if isinstance(x, Tensor) else None
+    x_data = x_t.data if x_t is not None else np.asarray(x)
+    left = np.asarray(left)
+    right = np.asarray(right)
+    batch, n_rows = x_data.shape[0], x_data.shape[1]
+    dim = x_data.shape[-1]
+    batch_idx = np.arange(batch)[:, None]
+    # Concatenate straight into a float64 buffer: the GEMM would otherwise
+    # cast a float32 triple to float64 internally (a second full copy).
+    triple = np.empty((batch, n_rows, 3 * dim), dtype=np.float64)
+    triple[..., :dim] = x_data
+    triple[..., dim : 2 * dim] = x_data[batch_idx, left]
+    triple[..., 2 * dim :] = x_data[batch_idx, right]
+    pre = np.matmul(triple, weight.data) + bias.data
+    out_data = np.maximum(pre, 0.0) * mask
+    positive = pre > 0.0
+
+    def backward(grad: np.ndarray) -> None:
+        gz = np.asarray(grad * mask * positive)
+        hidden = gz.shape[-1]
+        if weight.requires_grad:
+            # triple^T gz over (batch, node): a flat GEMM beats tensordot,
+            # which would transpose-copy both operands first.
+            gw = triple.reshape(-1, 3 * dim).T @ gz.reshape(-1, hidden)
+            weight._accumulate(gw)
+        if bias.requires_grad:
+            bias._accumulate(gz.sum(axis=(0, 1)))
+        if x_t is not None and x_t.requires_grad:
+            gtriple = np.matmul(gz, weight.data.T)
+            gx = np.ascontiguousarray(gtriple[..., :dim])
+            for index, part in ((left, gtriple[..., dim : 2 * dim]),
+                                (right, gtriple[..., 2 * dim :])):
+                zero = (index == 0)[..., None]
+                # Sentinel contributions all target row 0; sum them apart and
+                # zero the duplicates so the fancy-index add sees unique rows.
+                sentinel = (part * zero).sum(axis=1)
+                gx[batch_idx, index] += np.where(zero, 0.0, part)
+                gx[:, 0] += sentinel
+            x_t._accumulate(gx)
+
+    parents = (x_t, weight, bias) if x_t is not None else (weight, bias)
+    return Tensor._make(out_data, parents, backward)
 
 
 def grl(x: Tensor, lam: float) -> Tensor:

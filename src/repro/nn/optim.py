@@ -45,6 +45,14 @@ class SGD(_Optimizer):
 
 
 class Adam(_Optimizer):
+    """Adam with fully in-place updates.
+
+    Moment buffers and one scratch buffer per parameter are allocated once at
+    construction; ``step`` performs no array allocations (the update
+    ``lr * m_hat / (sqrt(v_hat) + eps)`` is folded into the scratch buffer
+    through ``out=`` kernels, algebraically identical to the textbook form).
+    """
+
     def __init__(
         self,
         parameters: list[Tensor],
@@ -59,6 +67,7 @@ class Adam(_Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch = [np.zeros_like(p.data) for p in self.parameters]
         self._t = 0
 
     def step(self) -> None:
@@ -66,19 +75,30 @@ class Adam(_Optimizer):
         beta1, beta2 = self.betas
         bias1 = 1.0 - beta1**self._t
         bias2 = 1.0 - beta2**self._t
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        for param, m, v, s in zip(self.parameters, self._m, self._v, self._scratch):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                # Fold decay into the gradient buffer (reset on zero_grad).
+                np.multiply(param.data, self.weight_decay, out=s)
+                grad += s
             m *= beta1
-            m += (1.0 - beta1) * grad
+            np.multiply(grad, 1.0 - beta1, out=s)
+            m += s
             v *= beta2
-            v += (1.0 - beta2) * grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=s)
+            s *= 1.0 - beta2
+            v += s
+            # update = lr * (m/bias1) / (sqrt(v/bias2) + eps)
+            #        = lr * m / (bias1*sqrt(v/bias2) + bias1*eps)
+            np.multiply(v, 1.0 / bias2, out=s)
+            np.sqrt(s, out=s)
+            s += self.eps
+            s *= bias1
+            np.divide(m, s, out=s)
+            s *= self.lr
+            param.data -= s
 
 
 class ExponentialDecay:

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn.autodiff import Tensor, concat, gather_nodes, relu
+from repro.nn.autodiff import Tensor, concat, fused_tree_conv, gather_nodes, relu
 from repro.nn.layers import Linear, Module
 
 __all__ = ["TreeBatch", "TreeConvEncoder"]
@@ -179,6 +179,23 @@ class TreeConvEncoder(Module):
             # absent children contribute nothing in deeper layers.
             x = x * mask
         return x
+
+    def node_representations_fused(self, batch: TreeBatch) -> Tensor:
+        """Same computation as :meth:`node_representations` through the fused
+        gather→matmul→ReLU op: one graph node per conv layer instead of seven,
+        and the first layer consumes ``batch.features`` as a raw array (no
+        float64 ``Tensor`` copy of the input buffer).  Used by the training
+        fast path; the unfused chain remains the reference."""
+        x: Tensor | np.ndarray = batch.features
+        for layer in self.conv_layers:
+            x = fused_tree_conv(
+                x, batch.left, batch.right, batch.mask, layer.weight, layer.bias
+            )
+        return x
+
+    def embed_fused(self, batch: TreeBatch) -> Tensor:
+        """Fused-op twin of :meth:`forward`."""
+        return self.pool(self.node_representations_fused(batch), batch)
 
     def pool(self, nodes: Tensor, batch: TreeBatch) -> Tensor:
         """Dynamic pooling of node representations into the plan embedding."""

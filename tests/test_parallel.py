@@ -1,0 +1,138 @@
+"""Tests for the process-parallel evaluation harness.
+
+Worker functions live at module level so a fork- or spawn-based pool can
+pickle them by reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.loam import LOAMConfig
+from repro.core.predictor import PredictorConfig
+from repro.evaluation.parallel import (
+    EvalTask,
+    ParallelEvaluationError,
+    TaskFailure,
+    derive_seed,
+    resolve_processes,
+    run_tasks,
+)
+from repro.evaluation.tasks import train_loam_task
+
+
+def echo_task(value, *, seed):
+    return value, seed
+
+
+def draw_task(n, *, seed):
+    return np.random.default_rng(seed).normal(size=n).tolist()
+
+
+def failing_task(message, *, seed):
+    raise RuntimeError(message)
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_key_sensitive(self):
+        assert derive_seed(0, "project1") == derive_seed(0, "project1")
+        assert derive_seed(0, "project1") != derive_seed(0, "project2")
+        assert derive_seed(0, "project1") != derive_seed(1, "project1")
+
+    def test_fits_numpy_seed_range(self):
+        for key in ("a", "b", "c"):
+            seed = derive_seed(123, key)
+            assert 0 <= seed < 2**63
+            np.random.default_rng(seed)  # must not raise
+
+
+class TestRunTasks:
+    def test_parallel_matches_serial(self):
+        tasks = [
+            EvalTask(key=f"t{i}", fn=draw_task, args=(8,)) for i in range(6)
+        ]
+        serial = run_tasks(tasks, processes=1)
+        parallel = run_tasks(tasks, processes=2)
+        assert serial == parallel
+
+    def test_pinned_seed_passed_through(self):
+        out = run_tasks([EvalTask(key="k", fn=echo_task, args=("v",), seed=7)])
+        assert out["k"] == ("v", 7)
+
+    def test_derived_seed_used_when_unpinned(self):
+        out = run_tasks([EvalTask(key="k", fn=echo_task, args=("v",))], base_seed=3)
+        assert out["k"] == ("v", derive_seed(3, "k"))
+
+    def test_failure_carries_remote_traceback(self):
+        tasks = [
+            EvalTask(key="good", fn=echo_task, args=(1,)),
+            EvalTask(key="bad", fn=failing_task, args=("boom",)),
+        ]
+        with pytest.raises(ParallelEvaluationError) as excinfo:
+            run_tasks(tasks, processes=2)
+        failures = excinfo.value.failures
+        assert [f.key for f in failures] == ["bad"]
+        assert isinstance(failures[0], TaskFailure)
+        assert failures[0].exception_type == "RuntimeError"
+        assert "boom" in failures[0].message
+        assert "failing_task" in failures[0].traceback_text
+
+    def test_duplicate_keys_rejected(self):
+        tasks = [EvalTask(key="x", fn=echo_task, args=(1,))] * 2
+        with pytest.raises(ValueError, match="duplicate"):
+            run_tasks(tasks)
+
+    def test_empty_task_list(self):
+        assert run_tasks([]) == {}
+
+    def test_resolve_processes(self, monkeypatch):
+        assert resolve_processes(10, 4) == 4
+        assert resolve_processes(2, 8) == 2
+        monkeypatch.setenv("REPRO_EVAL_PROCESSES", "3")
+        assert resolve_processes(10) == 3
+        with pytest.raises(ValueError):
+            resolve_processes(10, 0)
+
+
+class TestTrainingTasks:
+    @pytest.fixture(scope="class")
+    def project(self, small_profile):
+        from repro.evaluation.config import current_scale
+        from repro.evaluation.harness import build_evaluation_project
+
+        return build_evaluation_project(small_profile, current_scale())
+
+    def _config(self):
+        return LOAMConfig(
+            max_training_queries=60,
+            candidate_alignment_queries=10,
+            predictor=PredictorConfig(
+                hidden_dims=(16, 12), embedding_dim=8, epochs=2, batch_size=16
+            ),
+        )
+
+    def test_parallel_training_matches_serial(self, project):
+        tasks = [
+            EvalTask(
+                key=f"loam-{seed}",
+                fn=train_loam_task,
+                args=(project, self._config()),
+                kwargs={"first_day": 0, "last_day": 2},
+                seed=seed,
+            )
+            for seed in (0, 1)
+        ]
+        serial = run_tasks(tasks, processes=1)
+        parallel = run_tasks(tasks, processes=2)
+        probe = [r.plan for r in project.train_records[:8]]
+        for key in ("loam-0", "loam-1"):
+            np.testing.assert_array_equal(
+                serial[key].predictor.predict_baseline(probe),
+                parallel[key].predictor.predict_baseline(probe),
+            )
+        # Different seeds really train different models.
+        assert not np.allclose(
+            parallel["loam-0"].predictor.predict_baseline(probe),
+            parallel["loam-1"].predictor.predict_baseline(probe),
+        )

@@ -150,3 +150,55 @@ class TestBaselines:
         model.fit(plans, costs)
         chosen, _ = model.select_best(plans[:4])
         assert chosen in plans[:4]
+
+
+class TestTrainingFastPath:
+    """The prebuilt-buffer + fused-op fit() path vs the reference path.
+
+    Both consume the RNG identically and compute the same math; differences
+    come only from float32 buffer round-off, so trajectories and predictions
+    must agree within rtol 1e-4 (mirrors the gate in
+    ``benchmarks/bench_training_throughput.py``)."""
+
+    def test_trajectories_match_reference(self, training_data):
+        plans, costs, candidates = training_data
+        fast = AdaptiveCostPredictor(config=TINY)
+        fast_report = fast.fit(plans, costs, candidates, fast_path=True)
+        ref = AdaptiveCostPredictor(config=TINY)
+        ref_report = ref.fit(plans, costs, candidates, fast_path=False)
+
+        assert fast_report.fast_path and not ref_report.fast_path
+        assert fast_report.n_batches == ref_report.n_batches
+        np.testing.assert_allclose(
+            fast_report.cost_losses, ref_report.cost_losses, rtol=1e-4
+        )
+        np.testing.assert_allclose(
+            fast_report.domain_losses, ref_report.domain_losses, rtol=1e-4
+        )
+        np.testing.assert_allclose(
+            fast.predict_baseline(plans[:16]),
+            ref.predict_baseline(plans[:16]),
+            rtol=1e-4,
+        )
+
+    def test_report_counts_batches_and_throughput(self, training_data):
+        plans, costs, candidates = training_data
+        predictor = AdaptiveCostPredictor(config=TINY)
+        report = predictor.fit(plans, costs, candidates)
+        expected = TINY.epochs * (len(plans) // TINY.batch_size)
+        # Chunk remainders of size >= 2 also train, so at least the floor.
+        assert report.n_batches >= expected
+        assert report.steps_per_second > 0
+        assert abs(report.steps_per_second - report.n_batches / report.train_seconds) < 1.0
+
+    def test_fast_path_without_candidates(self, training_data):
+        plans, costs, _ = training_data
+        fast = AdaptiveCostPredictor(config=TINY)
+        fast.fit(plans, costs)
+        ref = AdaptiveCostPredictor(config=TINY)
+        ref.fit(plans, costs, fast_path=False)
+        np.testing.assert_allclose(
+            fast.predict_baseline(plans[:16]),
+            ref.predict_baseline(plans[:16]),
+            rtol=1e-4,
+        )

@@ -3,9 +3,11 @@
 #
 # Runs the full unit/integration suite at REPRO_SCALE=smoke, then the
 # serving-layer throughput benchmark (BENCH_serving.json: plans/sec,
-# p50/p99 latency, cold/warm speedups, cache stats) and the training-loop
+# p50/p99 latency, cold/warm speedups, cache stats), the training-loop
 # throughput benchmark (BENCH_training.json: fit seconds, epoch seconds,
-# steps/sec, fast-vs-reference speedup) so successive PRs can track both
+# steps/sec, fast-vs-reference speedup), and the fig11 adaptive-training
+# scenario routed through the model lifecycle subsystem (registry +
+# feedback + drift + canary), so successive PRs can track all three
 # trajectories.
 #
 # Usage:
@@ -31,6 +33,10 @@ echo "== serving throughput benchmark =="
 echo
 echo "== training throughput benchmark =="
 (cd "${REPO_ROOT}/benchmarks" && python -m pytest bench_training_throughput.py -q -s)
+
+echo
+echo "== fig11 adaptive training through the model lifecycle =="
+(cd "${REPO_ROOT}/benchmarks" && python -m pytest bench_fig11_adaptive_training.py -q -s)
 
 echo
 echo "== artifacts =="

@@ -6,7 +6,11 @@ Commands
 ``variance``  print the recurring-cost variance study (challenge C1);
 ``explain``   compile a SQL statement against a generated project and print
               the default plan plus every steered candidate;
-``fleet``     run Filter + Ranker over a generated fleet and print rankings.
+``fleet``     run Filter + Ranker over a generated fleet and print rankings;
+``lifecycle`` run the full model-lifecycle round trip on a generated
+              project: train → register/bootstrap → feedback → drift →
+              canary (an injected regressed candidate must be rejected,
+              then a genuine retrain is canaried against the incumbent).
 
 All commands are deterministic given ``--seed``.
 """
@@ -41,6 +45,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     fleet = sub.add_parser("fleet", help="project selection over a generated fleet")
     fleet.add_argument("--projects", type=int, default=10)
+
+    lifecycle = sub.add_parser(
+        "lifecycle", help="model lifecycle round trip: registry/feedback/drift/canary"
+    )
+    lifecycle.add_argument("--days", type=int, default=8, help="history days to simulate")
+    lifecycle.add_argument("--epochs", type=int, default=6)
+    lifecycle.add_argument(
+        "--registry", default=None,
+        help="registry directory (default: an ephemeral temporary directory)",
+    )
     return parser
 
 
@@ -153,6 +167,131 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    """The guarded rollout loop end to end, suitable as a CI smoke check:
+    exits non-zero if the injected regressed candidate slips past the
+    canary or a promotion fails to advance ``weights_version``."""
+    from dataclasses import replace
+
+    from repro.core.loam import LOAM, LOAMConfig
+    from repro.core.predictor import PredictorConfig
+    from repro.evaluation.reporting import format_table
+    from repro.lifecycle import (
+        CanaryConfig,
+        DriftConfig,
+        ModelLifecycle,
+        training_data_fingerprint,
+    )
+    from repro.warehouse.workload import ProjectProfile, generate_project
+
+    profile = ProjectProfile(
+        name="cli-lifecycle", seed=args.seed, n_tables=12, n_templates=10,
+        stats_availability=0.2, row_scale=3e5, n_machines=60,
+    )
+    print(f"Simulating {args.days} days of history on {profile.name!r}...")
+    workload = generate_project(profile)
+    workload.simulate_history(args.days, max_queries_per_day=40)
+    # The first model is deliberately early: trained on only the first
+    # quarter of history with few epochs, the way a real project's first
+    # deployment predates most of its workload.  The later full retrain is
+    # the genuinely better canary candidate.
+    config = LOAMConfig(
+        max_training_queries=600,
+        candidate_alignment_queries=30,
+        predictor=PredictorConfig(epochs=max(2, args.epochs // 3)),
+    )
+    loam = LOAM(workload, config)
+    loam.train(first_day=0, last_day=max(1, args.days // 4))
+    validation = loam.validate(
+        [workload.sample_query(args.days - 1) for _ in range(10)]
+    )
+    env = loam.environment.features()
+    records = workload.repository.deduplicated()
+    fingerprint = training_data_fingerprint(
+        [r.plan for r in records], [r.cpu_cost for r in records]
+    )
+
+    lifecycle = ModelLifecycle(
+        args.registry,
+        drift=DriftConfig(min_samples=12, window=32),
+        canary=CanaryConfig(holdout_fraction=0.3, min_holdout=4),
+    )
+    entry = lifecycle.bootstrap(
+        loam.predictor,
+        environment_features=env,
+        training_fingerprint=fingerprint,
+        metrics={"validated_improvement": validation.improvement},
+    )
+    print(
+        f"bootstrap: v{entry.version} serving (weights_version "
+        f"{entry.weights_version}, validated {validation.improvement:+.1%})"
+    )
+
+    # Feedback: validation's executed-plan outcomes plus a replay of
+    # historical default plans through flighting.
+    for plan, predicted, observed in validation.feedback:
+        lifecycle.observe(
+            plan, observed, predicted_cost=predicted, env_features=env,
+            day=args.days - 1,
+        )
+    # Replay *recent* history: plans from after the incumbent's training
+    # window, where its staleness is visible.
+    flighting = workload.flighting(seed_key="cli-lifecycle")
+    for record in records[-60:]:
+        observed = flighting.measure_cost(record.plan, n_runs=2)
+        lifecycle.observe(record.plan, observed, env_features=env, day=args.days - 1)
+    print(lifecycle.check_drift().summary())
+
+    # An injected regressed candidate: the incumbent's checkpoint with
+    # heavily perturbed weights.  The canary gate must reject it.
+    regressed, _ = lifecycle.registry.load(entry.version)
+    rng = np.random.default_rng(args.seed)
+    for param in regressed.module.parameters():
+        param.data = param.data + rng.normal(0.0, 2.0, param.data.shape)
+    report, _ = lifecycle.submit_candidate(regressed, environment_features=env)
+    print(f"regressed candidate -> {report.summary()}")
+    if report.decision != "reject":
+        print("ERROR: regressed candidate was not rejected", file=sys.stderr)
+        return 1
+
+    # A genuine retrain on the full history, canaried against the incumbent.
+    retrained = LOAM(
+        workload,
+        replace(config, predictor=replace(config.predictor, epochs=args.epochs + 4)),
+    )
+    retrained.train(first_day=0, last_day=args.days - 1)
+    report, promoted = lifecycle.submit_candidate(
+        retrained.predictor,
+        environment_features=retrained.environment.features(),
+        training_fingerprint=fingerprint,
+    )
+    print(f"retrained candidate -> {report.summary()}")
+    if report.decision != "promote":
+        print("ERROR: genuinely retrained candidate was not promoted", file=sys.stderr)
+        return 1
+    assert promoted is not None
+    if promoted.weights_version <= entry.weights_version:
+        print("ERROR: promotion did not advance weights_version", file=sys.stderr)
+        return 1
+
+    rows = [
+        [
+            f"v{e.version}",
+            "current" if lifecycle.current_version.version == e.version
+            else ("promoted" if e.promoted else "rejected"),
+            str(e.weights_version),
+            e.metrics.get("canary_decision", "-"),
+        ]
+        for e in lifecycle.registry.versions()
+    ]
+    print()
+    print(format_table(["version", "status", "weights_version", "canary"], rows,
+                       title="Model registry"))
+    print(f"\nserving: v{lifecycle.current_version.version} "
+          f"({len(lifecycle.feedback)} feedback records)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     np.random.seed(args.seed)  # legacy global, for any stray consumers
@@ -161,6 +300,7 @@ def main(argv: list[str] | None = None) -> int:
         "variance": _cmd_variance,
         "explain": _cmd_explain,
         "fleet": _cmd_fleet,
+        "lifecycle": _cmd_lifecycle,
     }
     return handlers[args.command](args)
 

@@ -24,6 +24,13 @@ from repro.core.deviance import DevianceEstimator
 from repro.core.explorer import PlanExplorer
 from repro.core.loam import LOAM, LOAMConfig, ValidationReport
 from repro.core.selector import FilterConfig, ProjectFilter, ProjectRanker
+from repro.lifecycle import (
+    CanaryConfig,
+    CanaryReport,
+    DriftConfig,
+    ModelLifecycle,
+    training_data_fingerprint,
+)
 from repro.warehouse.plan import PhysicalPlan
 from repro.warehouse.workload import ProjectWorkload
 
@@ -41,6 +48,16 @@ class DeploymentConfig:
     deviance_samples: int = 6  # executions per plan when measuring D(M_d)
     loam: LOAMConfig = field(default_factory=LOAMConfig)
     filter: FilterConfig = field(default_factory=FilterConfig)
+    #: Canary gate for re-deployments: a retrained model must be no worse
+    #: than the incumbent on held-out feedback.  The fleet's validation
+    #: rounds are short, so the holdout threshold is low by default.
+    canary: CanaryConfig = field(default_factory=lambda: CanaryConfig(
+        holdout_fraction=0.5, min_holdout=2
+    ))
+    drift: DriftConfig = field(default_factory=DriftConfig)
+    #: Where per-project model registries live.  ``None`` keeps each
+    #: project's registry in an ephemeral temporary directory.
+    registry_root: str | None = None
 
 
 @dataclass
@@ -54,6 +71,11 @@ class ProjectOutcome:
     selected: bool = False
     validation: ValidationReport | None = None
     deployed: bool = False
+    #: Canary verdict when this round replaced (or failed to replace) an
+    #: already-deployed incumbent; None on first deployment.
+    canary: CanaryReport | None = None
+    #: Registry version serving after this round (None if never deployed).
+    model_version: int | None = None
 
     @property
     def status(self) -> str:
@@ -63,7 +85,10 @@ class ProjectOutcome:
             return "ranked-out"
         if self.deployed:
             assert self.validation is not None
-            return f"deployed ({self.validation.improvement:+.1%})"
+            version = f" v{self.model_version}" if self.model_version else ""
+            return f"deployed{version} ({self.validation.improvement:+.1%})"
+        if self.canary is not None and not self.canary.passed:
+            return f"canary-{self.canary.decision}"
         if self.validation is not None:
             return f"rejected ({self.validation.improvement:+.1%})"
         return "selected"
@@ -105,8 +130,24 @@ class FleetManager:
         self.filter = ProjectFilter(self.config.filter)
         self.ranker = ranker or ProjectRanker()
         self.deployed: dict[str, LOAM] = {}
+        #: Per-project model lifecycle (registry + feedback + drift + canary);
+        #: created on a project's first validated deployment.
+        self.lifecycles: dict[str, ModelLifecycle] = {}
         # The Ranker's growing training pool: (plan, catalog, cost, D(M_d)).
         self._ranker_pool: list[tuple[PhysicalPlan, object, float, float]] = []
+
+    def lifecycle_for(self, name: str) -> ModelLifecycle:
+        """The project's lifecycle, created lazily on first use."""
+        lifecycle = self.lifecycles.get(name)
+        if lifecycle is None:
+            root = None
+            if self.config.registry_root is not None:
+                root = f"{self.config.registry_root}/{name}"
+            lifecycle = ModelLifecycle(
+                root, drift=self.config.drift, canary=self.config.canary
+            )
+            self.lifecycles[name] = lifecycle
+        return lifecycle
 
     # -- ranker bootstrap / feedback ------------------------------------------
 
@@ -197,7 +238,8 @@ class FleetManager:
             outcomes[name].ranker_score = score
             outcomes[name].selected = name in selected
 
-        # Stages 3-5: train, validate, deploy, feed the ranker.
+        # Stages 3-5: train, validate, deploy through the model lifecycle,
+        # feed the ranker.
         for name in selected:
             workload = by_name[name]
             loam = LOAM(workload, self.config.loam)
@@ -212,9 +254,61 @@ class FleetManager:
             if validation.suitable_for_production(
                 min_improvement=self.config.min_validated_improvement
             ):
-                outcome.deployed = True
-                self.deployed[name] = loam
+                self._deploy_through_lifecycle(name, loam, validation, day, outcome)
             # Feedback: validation produced fresh default-plan measurements.
             self._collect_ranker_examples(workload, sample_day=day)
         self._refit_ranker()
         return FleetReport(outcomes=list(outcomes.values()))
+
+    def _deploy_through_lifecycle(
+        self,
+        name: str,
+        loam: LOAM,
+        validation: ValidationReport,
+        day: int,
+        outcome: ProjectOutcome,
+    ) -> None:
+        """Guarded rollout of a validated model (Section 6's closing loop).
+
+        The first validated model bootstraps the project's registry; every
+        later round's retrain is a *candidate* that must clear the canary
+        gate against the live incumbent on held-out feedback before the
+        hot swap.  A rejected candidate is registered unpromoted and the
+        incumbent keeps serving (fallback semantics).
+        """
+        lifecycle = self.lifecycle_for(name)
+        env = loam.environment.features()
+        records = loam.workload.repository.deduplicated()
+        fingerprint = training_data_fingerprint(
+            [r.plan for r in records], [r.cpu_cost for r in records]
+        )
+        metrics = {
+            "validated_improvement": validation.improvement,
+            "n_validation_queries": validation.n_queries,
+        }
+        # Validation's executed-plan outcomes feed the lifecycle log first,
+        # so the canary judges the candidate on fresh measurements too.
+        for plan, predicted, observed in validation.feedback:
+            lifecycle.feedback.record(
+                plan,
+                predicted,
+                observed,
+                env_features=env,
+                day=day,
+                model_version=lifecycle.current_version.version
+                if lifecycle.current_version
+                else 0,
+            )
+        report, entry = lifecycle.submit_candidate(
+            loam.predictor,
+            environment_features=env,
+            training_fingerprint=fingerprint,
+            metrics=metrics,
+        )
+        if report.decision != "bootstrap":
+            outcome.canary = report
+        if report.passed:
+            assert entry is not None
+            outcome.deployed = True
+            outcome.model_version = entry.version
+            self.deployed[name] = loam

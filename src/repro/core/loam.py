@@ -51,6 +51,10 @@ class ValidationReport:
     native_average_cost: float
     per_query_loam: list[float]
     per_query_native: list[float]
+    #: Executed-plan outcomes collected during validation: (plan, predicted
+    #: cost, measured cost) per flighting measurement, for both the chosen
+    #: and the default plan.  Feeds the lifecycle FeedbackLog.
+    feedback: list[tuple[PhysicalPlan, float, float]] = field(default_factory=list)
 
     @property
     def improvement(self) -> float:
@@ -157,21 +161,35 @@ class LOAM:
             raise RuntimeError("LOAM.validate before train()")
         flighting = self.workload.flighting(seed_key="validation")
         loam_costs, native_costs = [], []
+        feedback: list[tuple[PhysicalPlan, float, float]] = []
         for query in test_queries:
             outcome = self.optimize(query)
             default = outcome.candidates[0] if outcome.candidates[0].is_default else None
             if default is None:
                 default = next(p for p in outcome.candidates if p.is_default)
-            loam_costs.append(
-                flighting.measure_cost(outcome.chosen_plan, n_runs=self.config.flighting_runs)
+            loam_cost = flighting.measure_cost(
+                outcome.chosen_plan, n_runs=self.config.flighting_runs
             )
-            native_costs.append(
-                flighting.measure_cost(default, n_runs=self.config.flighting_runs)
+            native_cost = flighting.measure_cost(default, n_runs=self.config.flighting_runs)
+            loam_costs.append(loam_cost)
+            native_costs.append(native_cost)
+            # Executed-plan outcomes (chosen + default) for the lifecycle
+            # feedback loop: predicted cost alongside the measured one.
+            predictions = outcome.predicted_costs
+            chosen_idx = next(
+                i for i, p in enumerate(outcome.candidates) if p is outcome.chosen_plan
             )
+            feedback.append((outcome.chosen_plan, float(predictions[chosen_idx]), loam_cost))
+            if default is not outcome.chosen_plan:
+                default_idx = next(
+                    i for i, p in enumerate(outcome.candidates) if p is default
+                )
+                feedback.append((default, float(predictions[default_idx]), native_cost))
         return ValidationReport(
             n_queries=len(test_queries),
             loam_average_cost=float(np.mean(loam_costs)) if loam_costs else 0.0,
             native_average_cost=float(np.mean(native_costs)) if native_costs else 0.0,
             per_query_loam=loam_costs,
             per_query_native=native_costs,
+            feedback=feedback,
         )

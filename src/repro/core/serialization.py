@@ -5,6 +5,13 @@ offline training pipeline and the online serving path.  Parameters are
 stored as a single ``.npz`` archive together with the label transform and
 the fitted representative environment, so a reloaded predictor reproduces
 the exact serving behaviour.
+
+Format v2 extends the manifest with deployment metadata consumed by the
+model lifecycle subsystem (:mod:`repro.lifecycle`): the predictor's
+``weights_version`` (so a reloaded model does not restart at version 0 and
+collide with stale serving-cache entries), a training-data fingerprint, and
+arbitrary metrics recorded at registration time.  v1 archives still load;
+their ``weights_version`` defaults to 0.
 """
 
 from __future__ import annotations
@@ -18,9 +25,9 @@ import numpy as np
 from repro.core.encoding import PlanEncoder
 from repro.core.predictor import AdaptiveCostPredictor, PredictorConfig
 
-__all__ = ["save_predictor", "load_predictor"]
+__all__ = ["save_predictor", "load_predictor", "load_manifest"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def save_predictor(
@@ -28,11 +35,16 @@ def save_predictor(
     path: str | Path,
     *,
     environment_features: tuple[float, float, float, float] | None = None,
+    training_fingerprint: str | None = None,
+    metrics: dict | None = None,
 ) -> Path:
     """Serialize a trained predictor (parameters + config + label transform).
 
     ``environment_features`` optionally stores the fitted representative
     environment e_r so serving needs no access to the training records.
+    ``training_fingerprint`` and ``metrics`` are lifecycle manifest fields:
+    a digest of the training data and whatever validation numbers the
+    registrar wants attached to this checkpoint.
     """
     path = Path(path)
     if path.suffix != ".npz":
@@ -45,14 +57,26 @@ def save_predictor(
         "config": asdict(predictor.config),
         "log_mean": predictor._log_mean,
         "log_std": predictor._log_std,
+        "weights_version": int(getattr(predictor, "weights_version", 0)),
         "encoder": {
             "hash_segments": predictor.encoder.hasher.n_segments,
             "hash_segment_dim": predictor.encoder.hasher.segment_dim,
         },
         "environment_features": list(environment_features) if environment_features else None,
+        "training_fingerprint": training_fingerprint,
+        "metrics": dict(metrics) if metrics else {},
     }
     np.savez_compressed(path, meta=json.dumps(meta), **arrays)
     return path
+
+
+def load_manifest(path: str | Path) -> dict:
+    """Read a checkpoint's JSON manifest without materializing the weights.
+
+    The registry uses this to rebuild its index from the files on disk.
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        return json.loads(str(archive["meta"]))
 
 
 def load_predictor(
@@ -66,7 +90,7 @@ def load_predictor(
     path = Path(path)
     with np.load(path, allow_pickle=False) as archive:
         meta = json.loads(str(archive["meta"]))
-        if meta["format_version"] != _FORMAT_VERSION:
+        if meta["format_version"] not in (1, _FORMAT_VERSION):
             raise ValueError(
                 f"unsupported predictor format {meta['format_version']} in {path}"
             )
@@ -93,6 +117,7 @@ def load_predictor(
         # node-sum cost head; log_scale itself was restored above.
         predictor.module._log_mean = predictor._log_mean
         predictor.module._log_std = predictor._log_std
+        predictor.weights_version = int(meta.get("weights_version", 0))
         env = meta["environment_features"]
     predictor.module.eval()
     return predictor, tuple(env) if env else None

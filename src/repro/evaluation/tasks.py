@@ -24,6 +24,7 @@ __all__ = [
     "evaluate_project_task",
     "training_size_improvement_task",
     "adaptive_ablation_task",
+    "lifecycle_adaptive_task",
 ]
 
 
@@ -86,6 +87,83 @@ def training_size_improvement_task(
         measured=measured,
     )
     return results["loam"].improvement_over(results["native"])
+
+
+def lifecycle_adaptive_task(
+    project: EvaluationProject,
+    loam: LOAM,
+    config: LOAMConfig,
+    *,
+    first_day: int,
+    last_day: int,
+    measured: "list[QueryCandidates]",
+    seed: int,
+) -> dict[str, Any]:
+    """Figure 11 cell routed through the model lifecycle subsystem.
+
+    The adversarially trained LOAM bootstraps an (ephemeral) registry and
+    serves through the lifecycle's hot-swappable inference service; the
+    shared measurement pool is replayed into its feedback log as
+    executed-plan outcomes; the drift monitor runs over that log; and the
+    LOAM-NA ablation is then submitted as a canary *candidate* — on the
+    high-improvement-space projects its candidate-plan predictions are
+    degraded, which is exactly what the regression gate exists to catch.
+    The method scores are computed before the candidate submission so the
+    figure keeps its paper semantics regardless of the canary verdict.
+    """
+    from repro.lifecycle import CanaryConfig, DriftConfig, ModelLifecycle
+    from repro.lifecycle.registry import training_data_fingerprint
+
+    na_config = _seeded(config, seed)
+    na_config = replace(
+        na_config, predictor=replace(na_config.predictor, adversarial=False)
+    )
+    loam_na = LOAM(project.workload, na_config)
+    loam_na.train(first_day=first_day, last_day=last_day)
+
+    lifecycle = ModelLifecycle(
+        drift=DriftConfig(min_samples=12, window=32),
+        canary=CanaryConfig(holdout_fraction=0.3, min_holdout=4),
+    )
+    env = loam.environment.features()
+    fingerprint = training_data_fingerprint(
+        [r.plan for r in project.train_records],
+        [r.cpu_cost for r in project.train_records],
+    )
+    lifecycle.bootstrap(
+        loam.predictor, environment_features=env, training_fingerprint=fingerprint
+    )
+
+    # Replay the shared measurement pool as executed-plan outcomes: every
+    # retained candidate was actually run in flighting, so each one is a
+    # (predicted, observed) feedback pair for the serving model.
+    for qc in measured:
+        predicted = lifecycle.service.predict(qc.plans, env_features=env)
+        for plan, pred, observed in zip(qc.plans, predicted, qc.measured_costs):
+            lifecycle.observe(
+                plan,
+                float(observed),
+                predicted_cost=float(pred),
+                env_features=env,
+                day=last_day + 1,
+            )
+    drift = lifecycle.check_drift()
+
+    results = evaluate_methods(
+        project,
+        {"loam": lifecycle.service, "loam-na": loam_na.predictor},
+        env_features={"loam": env, "loam-na": loam_na.environment.features()},
+        measured=measured,
+    )
+    canary, _ = lifecycle.submit_candidate(
+        loam_na.predictor, environment_features=loam_na.environment.features()
+    )
+    results["lifecycle"] = {
+        "drift": drift,
+        "canary": canary,
+        "served_version": lifecycle.current_version.version,
+    }
+    return results
 
 
 def adaptive_ablation_task(

@@ -1,0 +1,31 @@
+"""Model lifecycle subsystem: versioned registry, outcome feedback, drift
+detection, and canary-gated hot swap.
+
+The paper's deployment claim (C3/C4) is that models train strictly offline
+and reach serving only through guarded rollout with fallback to the default
+optimizer.  This package closes that loop — see docs/LIFECYCLE.md for the
+registry layout, feedback schema, drift thresholds, and canary gate.
+"""
+
+from repro.lifecycle.canary import CanaryConfig, CanaryController, CanaryReport, shadow_errors
+from repro.lifecycle.drift import DriftConfig, DriftMonitor, DriftReport
+from repro.lifecycle.feedback import FeedbackLog, FeedbackRecord, plan_digest
+from repro.lifecycle.manager import ModelLifecycle
+from repro.lifecycle.registry import ModelRegistry, ModelVersion, training_data_fingerprint
+
+__all__ = [
+    "CanaryConfig",
+    "CanaryController",
+    "CanaryReport",
+    "DriftConfig",
+    "DriftMonitor",
+    "DriftReport",
+    "FeedbackLog",
+    "FeedbackRecord",
+    "ModelLifecycle",
+    "ModelRegistry",
+    "ModelVersion",
+    "plan_digest",
+    "shadow_errors",
+    "training_data_fingerprint",
+]

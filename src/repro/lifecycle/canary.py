@@ -1,0 +1,119 @@
+"""Canary-gated rollout: shadow-evaluate a candidate before it may serve.
+
+A freshly trained candidate never replaces the incumbent directly.  The
+controller re-scores a held-out slice of the feedback log — real executed
+plans with observed costs — under both models (*shadow* evaluation: fresh,
+side-effect-free inference services, so no shadow traffic pollutes the
+live serving caches or stats), and promotes only when the candidate's
+held-out error is no worse than the incumbent's within a configurable
+regression budget.  On promotion the candidate is registered, made
+current, and hot-swapped into the live :class:`~repro.serving.service.
+CostInferenceService` (bumping ``weights_version`` so both serving-cache
+tiers invalidate).  On gate failure the incumbent keeps serving unchanged
+— and when there is no incumbent at all, the decision is to keep the
+warehouse's default cost model (the native optimizer) in charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lifecycle.feedback import FeedbackLog, FeedbackRecord
+
+__all__ = ["CanaryConfig", "CanaryReport", "CanaryController", "shadow_errors"]
+
+
+@dataclass(frozen=True)
+class CanaryConfig:
+    """The regression gate (documented in docs/LIFECYCLE.md)."""
+
+    #: Fraction of the feedback log held out for shadow evaluation.
+    holdout_fraction: float = 0.25
+    #: Below this many scoreable held-out outcomes the gate cannot decide;
+    #: the decision is ``insufficient-data`` (the incumbent keeps serving).
+    min_holdout: int = 8
+    #: The candidate's mean held-out q-error may exceed the incumbent's by
+    #: at most this relative margin.
+    max_regression: float = 0.02
+
+
+@dataclass
+class CanaryReport:
+    """Outcome of one candidate evaluation."""
+
+    decision: str  # "promote" | "reject" | "insufficient-data" | "bootstrap"
+    candidate_error: float = 0.0
+    incumbent_error: float = 0.0
+    n_holdout: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return self.decision in ("promote", "bootstrap")
+
+    def summary(self) -> str:
+        return (
+            f"canary: {self.decision} — candidate q-err {self.candidate_error:.3f} "
+            f"vs incumbent {self.incumbent_error:.3f} on {self.n_holdout} held-out"
+        )
+
+
+def shadow_errors(predictor, records: list[FeedbackRecord]) -> np.ndarray:
+    """Per-record q-error of ``predictor`` on re-scorable feedback records.
+
+    Records are grouped by environment override so each group scores as one
+    batched request through a fresh inference service.
+    """
+    from repro.serving.service import CostInferenceService
+
+    service = CostInferenceService(predictor, enable_prediction_cache=False)
+    groups: dict[tuple | None, list[int]] = {}
+    for i, rec in enumerate(records):
+        groups.setdefault(rec.env_features, []).append(i)
+    errors = np.zeros(len(records))
+    for env, members in groups.items():
+        plans = [records[i].plan for i in members]
+        predicted = service.predict(plans, env_features=env)
+        for i, pred in zip(members, predicted):
+            observed = max(records[i].observed_cost, 1e-9)
+            pred = max(float(pred), 1e-9)
+            errors[i] = max(pred / observed, observed / pred)
+    return errors
+
+
+class CanaryController:
+    """Decides whether a candidate model may replace the incumbent."""
+
+    def __init__(self, config: CanaryConfig | None = None) -> None:
+        self.config = config or CanaryConfig()
+
+    def evaluate(
+        self,
+        candidate,
+        incumbent,
+        feedback: FeedbackLog,
+    ) -> CanaryReport:
+        """Shadow-evaluate ``candidate`` against ``incumbent`` on the held-out
+        slice of ``feedback``.  Pure decision — no registry or serving side
+        effects (:class:`~repro.lifecycle.manager.ModelLifecycle` acts on it).
+        """
+        if incumbent is None:
+            # Cold start: nothing to compare against.  The caller decides
+            # between bootstrapping and staying on the native cost model.
+            return CanaryReport(decision="bootstrap")
+        cfg = self.config
+        holdout = feedback.scoreable(
+            feedback.held_out(cfg.holdout_fraction, min_records=cfg.min_holdout)
+        )
+        if len(holdout) < cfg.min_holdout:
+            return CanaryReport(decision="insufficient-data", n_holdout=len(holdout))
+        candidate_err = float(np.mean(shadow_errors(candidate, holdout)))
+        incumbent_err = float(np.mean(shadow_errors(incumbent, holdout)))
+        passed = candidate_err <= incumbent_err * (1.0 + cfg.max_regression)
+        return CanaryReport(
+            decision="promote" if passed else "reject",
+            candidate_error=candidate_err,
+            incumbent_error=incumbent_err,
+            n_holdout=len(holdout),
+        )

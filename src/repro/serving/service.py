@@ -324,6 +324,33 @@ class CostInferenceService:
         self._snapshot = None
         self.prediction_cache.clear()
 
+    def swap_predictor(self, predictor) -> None:
+        """Hot-swap the served model (the lifecycle canary's promote path).
+
+        The new predictor must encode plans into the same feature space
+        (same encoder dimensionality); its ``weights_version`` is bumped
+        past the incumbent's so version-keyed invalidation stays monotonic
+        even if the replacement was loaded from a checkpoint with an older
+        counter.  Both cache tiers are dropped: the prediction cache holds
+        the incumbent's outputs, and the encoding cache may have been built
+        by an encoder with different hashing configuration.
+        """
+        new_encoder = getattr(predictor, "encoder", None)
+        if new_encoder is None or new_encoder.dim != self.encoder.dim:
+            raise ValueError(
+                "swap_predictor requires an encoder-compatible predictor "
+                f"(got dim {getattr(new_encoder, 'dim', None)}, "
+                f"serving dim {self.encoder.dim})"
+            )
+        incumbent_version = getattr(self.predictor, "weights_version", 0)
+        if getattr(predictor, "weights_version", 0) <= incumbent_version:
+            predictor.weights_version = incumbent_version + 1
+        self.predictor = predictor
+        self.encoder = new_encoder
+        self._snapshot = None
+        self.encoding_cache.clear()
+        self.prediction_cache.clear()
+
     # -- internals -----------------------------------------------------------
 
     def _current_snapshot(self) -> _WeightSnapshot:

@@ -14,6 +14,7 @@ The executor reproduces the paper's observed cost statistics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -107,6 +108,17 @@ class Executor:
         self.catalog = catalog
         self.cluster = cluster
         self.constants = constants
+        #: Observers invoked with every completed :class:`ExecutionRecord` —
+        #: the hook the model lifecycle's feedback loop attaches to
+        #: (``ModelLifecycle.watch``, see docs/LIFECYCLE.md).  Kept as plain
+        #: callables so the warehouse layer stays import-free of serving.
+        self.observers: list[Callable[[ExecutionRecord], None]] = []
+
+    def add_observer(self, callback: Callable[[ExecutionRecord], None]) -> None:
+        self.observers.append(callback)
+
+    def remove_observer(self, callback: Callable[[ExecutionRecord], None]) -> None:
+        self.observers.remove(callback)
 
     def execute(
         self,
@@ -146,7 +158,7 @@ class Executor:
                 node.env = features
             latency += intrinsic * factor * noise / parallelism
         cpu_cost = sum(se.cpu_cost for se in stage_execs)
-        return ExecutionRecord(
+        record = ExecutionRecord(
             query_id=plan.query.query_id,
             project=plan.query.project,
             template_id=plan.query.template_id,
@@ -156,6 +168,9 @@ class Executor:
             day=day,
             stages=stage_execs,
         )
+        for observer in self.observers:
+            observer(record)
+        return record
 
     def cost_under_environment(
         self,

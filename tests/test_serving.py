@@ -299,3 +299,85 @@ class TestTreeBatchValidation:
         buckets = TreeBatch.bucket_indices([4] * 5, max_batch=2)
         assert [len(idx) for _, idx in buckets] == [2, 2, 1]
         assert sorted(i for _, idx in buckets for i in idx) == [0, 1, 2, 3, 4]
+
+
+# -- checkpoint <-> serving equivalence (lifecycle satellite) ---------------------
+
+
+class TestCheckpointServingEquivalence:
+    def test_loaded_service_bitwise_matches_presave_service(self, trained, tmp_path):
+        """load_predictor into a CostInferenceService must reproduce the
+        pre-save service's predictions bitwise — the invariant the registry
+        hot swap and rollback paths depend on."""
+        from repro.core.serialization import load_predictor, save_predictor
+
+        predictor, plans = trained
+        env = (0.5, 0.05, 0.5, 0.5)
+        before = CostInferenceService(predictor).predict(plans[:12], env_features=env)
+        path = save_predictor(predictor, tmp_path / "ckpt.npz", environment_features=env)
+        loaded, stored_env = load_predictor(path)
+        after = CostInferenceService(loaded).predict(plans[:12], env_features=stored_env)
+        np.testing.assert_array_equal(before, after)
+
+    def test_loaded_service_matches_under_env_override(self, trained, tmp_path):
+        from repro.core.serialization import load_predictor, save_predictor
+
+        predictor, plans = trained
+        path = save_predictor(predictor, tmp_path / "ckpt.npz")
+        loaded, _ = load_predictor(path)
+        for env in (None, (0.9, 0.1, 0.2, 0.8)):
+            before = CostInferenceService(predictor).predict(plans[:8], env_features=env)
+            after = CostInferenceService(loaded).predict(plans[:8], env_features=env)
+            np.testing.assert_array_equal(before, after)
+
+
+class TestSwapPredictor:
+    def _second_predictor(self, project_with_history, scale=40.0):
+        records = project_with_history.repository.records[:80]
+        plans = [r.plan for r in records]
+        costs = [r.cpu_cost * scale for r in records]
+        other = AdaptiveCostPredictor(config=TINY)
+        other.fit(plans, costs)
+        return other
+
+    def test_swap_invalidates_both_cache_tiers(self, trained, project_with_history):
+        predictor, plans = trained
+        other = self._second_predictor(project_with_history)
+        service = CostInferenceService(predictor)
+        env = (0.5, 0.05, 0.5, 0.5)
+        before = service.predict(plans[:8], env_features=env)
+        assert len(service.encoding_cache) > 0
+        assert len(service.prediction_cache) > 0
+
+        service.swap_predictor(other)
+        assert len(service.encoding_cache) == 0
+        assert len(service.prediction_cache) == 0
+        after = service.predict(plans[:8], env_features=env)
+        assert not np.allclose(before, after)
+        # Post-swap output equals a fresh service around the new model.
+        fresh = CostInferenceService(other).predict(plans[:8], env_features=env)
+        np.testing.assert_array_equal(after, fresh)
+
+    def test_swap_bumps_weights_version_monotonically(self, trained, project_with_history, tmp_path):
+        from repro.core.serialization import load_predictor, save_predictor
+
+        predictor, plans = trained
+        service = CostInferenceService(predictor)
+        service.predict(plans[:4], env_features=(0.5, 0.05, 0.5, 0.5))
+        incumbent_version = predictor.weights_version
+        # A replacement loaded from an old checkpoint can carry a stale
+        # (lower) counter; the swap must still move versions forward.
+        stale, _ = load_predictor(save_predictor(predictor, tmp_path / "stale.npz"))
+        stale.weights_version = 0
+        service.swap_predictor(stale)
+        assert service.predictor is stale
+        assert stale.weights_version == incumbent_version + 1
+
+    def test_swap_rejects_incompatible_encoder(self, trained):
+        predictor, _ = trained
+        other = AdaptiveCostPredictor(
+            PlanEncoder(hash_segments=2, hash_segment_dim=4), TINY
+        )
+        service = CostInferenceService(predictor)
+        with pytest.raises(ValueError, match="encoder-compatible"):
+            service.swap_predictor(other)

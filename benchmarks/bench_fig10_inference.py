@@ -27,6 +27,7 @@ from repro.core.inference import (
     ClusterExpectedEnvironment,
 )
 from repro.evaluation.reporting import format_table
+from repro.gateway import OptimizerGateway
 
 STRATEGIES = ("loam", "loam-ce", "loam-cb", "loam-nl", "best-achievable")
 
@@ -51,15 +52,19 @@ def test_fig10_cost_inference_strategies(benchmark, eval_projects, trained_loams
 
             sums = {s: 0.0 for s in STRATEGIES}
             devs = {s: [] for s in STRATEGIES}
-            # (strategy, predictor serving layer, environment strategy or
+            # (strategy, serving entry point, environment strategy or
             # None).  One candidate set is scored under every environment:
             # the serving cache encodes each plan once and splices the 4-wide
-            # env block per strategy.
+            # env block per strategy.  Requests route through the optimizer
+            # gateway — the production front end — with no deadline, so
+            # selections stay identical to direct service calls.
+            gateway = OptimizerGateway(loam.predictor.serving)
+            gateway_nl = OptimizerGateway(loam_nl.predictor.serving)
             learned = {
-                "loam": (loam.predictor.serving, loam.environment),
-                "loam-ce": (loam.predictor.serving, ce),
-                "loam-cb": (loam.predictor.serving, cb),
-                "loam-nl": (loam_nl.predictor.serving, None),
+                "loam": (gateway, loam.environment),
+                "loam-ce": (gateway, ce),
+                "loam-cb": (gateway, cb),
+                "loam-nl": (gateway_nl, None),
             }
             for query in project.test_queries[:n_queries]:
                 plans = explorer.candidates(query, top_k=5)
@@ -81,6 +86,10 @@ def test_fig10_cost_inference_strategies(benchmark, eval_projects, trained_loams
             for strategy in STRATEGIES:
                 e2e[strategy][name] = sums[strategy] / n_queries
                 deviance[strategy][name] = float(np.mean(devs[strategy]))
+            # A healthy learned path must never have engaged the guardrails.
+            for gw in (gateway, gateway_nl):
+                assert gw.telemetry.counter("fallback_total").value == 0
+                gw.close()
         return e2e, deviance
 
     e2e, deviance = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -85,6 +85,7 @@ def test_fig11_adaptive_training_ablation(
     for p in PROJECT_NAMES:
         state = all_results[p]["lifecycle"]
         canary, drift = state["canary"], state["drift"]
+        gateway = state["gateway"]
         rows.append(
             [
                 p,
@@ -94,20 +95,25 @@ def test_fig11_adaptive_training_ablation(
                 str(canary.n_holdout),
                 "RETRAIN" if drift.retrain else "ok",
                 f"v{state['served_version']}",
+                f"{gateway['learned']:.0f}/{gateway['requests']:.0f}",
             ]
         )
     print(
         format_table(
-            ["project", "decision", "cand q-err", "inc q-err", "holdout", "drift", "served"],
+            ["project", "decision", "cand q-err", "inc q-err", "holdout", "drift",
+             "served", "gw learned/req"],
             rows,
         )
     )
 
-    # Every project ran the full loop: bootstrap + feedback + canary verdict.
+    # Every project ran the full loop: bootstrap + feedback + canary verdict,
+    # with all online scoring routed through a healthy serving gateway.
     for p in PROJECT_NAMES:
         state = all_results[p]["lifecycle"]
         assert state["canary"].decision in ("promote", "reject")
         assert state["served_version"] >= 1
+        assert state["gateway"]["fallbacks"] == 0
+        assert state["gateway"]["learned"] == state["gateway"]["requests"]
 
     # Shape assertion: across the high-space projects, adaptive training
     # helps in aggregate (LOAM average cost <= LOAM-NA average cost).

@@ -5,10 +5,12 @@
 # serving-layer throughput benchmark (BENCH_serving.json: plans/sec,
 # p50/p99 latency, cold/warm speedups, cache stats), the training-loop
 # throughput benchmark (BENCH_training.json: fit seconds, epoch seconds,
-# steps/sec, fast-vs-reference speedup), and the fig11 adaptive-training
-# scenario routed through the model lifecycle subsystem (registry +
-# feedback + drift + canary), so successive PRs can track all three
-# trajectories.
+# steps/sec, fast-vs-reference speedup), the gateway front-end benchmark
+# (BENCH_gateway.json: concurrent throughput, p50/p99 request latency,
+# chaos-phase fallback rate and breaker trips, overload shed rate), and
+# the fig11 adaptive-training scenario routed through the model lifecycle
+# subsystem (registry + feedback + drift + canary), so successive PRs can
+# track all four trajectories.
 #
 # Usage:
 #   benchmarks/run_bench.sh                  # artifacts -> benchmarks/BENCH_*.json
@@ -22,6 +24,7 @@ export REPRO_SCALE="${REPRO_SCALE:-smoke}"
 export PYTHONPATH="${REPO_ROOT}/src${PYTHONPATH:+:${PYTHONPATH}}"
 export BENCH_SERVING_OUT="${BENCH_SERVING_OUT:-${REPO_ROOT}/benchmarks/BENCH_serving.json}"
 export BENCH_TRAINING_OUT="${BENCH_TRAINING_OUT:-${REPO_ROOT}/benchmarks/BENCH_training.json}"
+export BENCH_GATEWAY_OUT="${BENCH_GATEWAY_OUT:-${REPO_ROOT}/benchmarks/BENCH_gateway.json}"
 
 echo "== tier-1 tests (REPRO_SCALE=${REPRO_SCALE}) =="
 python -m pytest "${REPO_ROOT}/tests" -x -q
@@ -33,6 +36,14 @@ echo "== serving throughput benchmark =="
 echo
 echo "== training throughput benchmark =="
 (cd "${REPO_ROOT}/benchmarks" && python -m pytest bench_training_throughput.py -q -s)
+
+echo
+echo "== gateway front-end benchmark =="
+(cd "${REPO_ROOT}/benchmarks" && python -m pytest bench_gateway_throughput.py -q -s)
+
+echo
+echo "== gateway guardrail smoke (induced failure -> fallback -> recovery) =="
+python -m repro gateway
 
 echo
 echo "== fig11 adaptive training through the model lifecycle =="
@@ -64,5 +75,19 @@ print(
     f"reference {artifact['reference']['fit_seconds']:.2f} s, "
     f"speedup {artifact['speedup']:.2f}x, "
     f"trajectory max rel err {artifact['loss_trajectory_max_rel_err']:.1e}"
+)
+EOF
+echo "${BENCH_GATEWAY_OUT}"
+python - "${BENCH_GATEWAY_OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    artifact = json.load(fh)
+best = max(artifact["gateway"], key=lambda m: m["plans_per_sec"])
+print(
+    f"gateway x{best['threads']} {best['plans_per_sec']:,.0f} plans/s "
+    f"(p99 {best['p99_ms']:.2f} ms, {artifact['gateway_vs_direct']:.2f}x direct), "
+    f"chaos fallback {artifact['chaos']['fallback_rate']:.0%} with "
+    f"{artifact['chaos']['breaker_trips']:.0f} breaker trip(s), "
+    f"shed {artifact['shed']['shed']:.0f}/{artifact['shed']['requests']}"
 )
 EOF

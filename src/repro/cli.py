@@ -10,9 +10,16 @@ Commands
 ``lifecycle`` run the full model-lifecycle round trip on a generated
               project: train → register/bootstrap → feedback → drift →
               canary (an injected regressed candidate must be rejected,
-              then a genuine retrain is canaried against the incumbent).
+              then a genuine retrain is canaried against the incumbent);
+``gateway``   run the serving-front-end round trip: concurrent traffic
+              through the optimizer gateway, induced model failure (every
+              request must still answer, from the native fallback, and the
+              circuit breaker must trip and raise a drift signal), recovery
+              through half-open probes, and a hot swap resetting the
+              breaker.  Exits non-zero if any guardrail misbehaves.
 
-All commands are deterministic given ``--seed``.
+All commands are deterministic given ``--seed`` (the ``gateway`` command's
+traffic is concurrent, so request *interleaving* — not results — may vary).
 """
 
 from __future__ import annotations
@@ -54,6 +61,17 @@ def _build_parser() -> argparse.ArgumentParser:
     lifecycle.add_argument(
         "--registry", default=None,
         help="registry directory (default: an ephemeral temporary directory)",
+    )
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="serving front-end round trip: concurrency/fallback/breaker/recovery",
+    )
+    gateway.add_argument("--days", type=int, default=6, help="history days to simulate")
+    gateway.add_argument("--epochs", type=int, default=4)
+    gateway.add_argument("--threads", type=int, default=8, help="concurrent callers")
+    gateway.add_argument(
+        "--requests", type=int, default=6, help="requests per caller thread"
     )
     return parser
 
@@ -292,6 +310,161 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    """Serving-front-end smoke: every request must answer whatever the
+    learned path does, the breaker must trip on induced failure (raising a
+    drift/retrain signal), recover through half-open probes, and reset on a
+    hot swap.  Suitable as a CI job; exits non-zero on any violation."""
+    import threading
+    import time
+
+    from repro.core.explorer import PlanExplorer
+    from repro.core.loam import LOAM, LOAMConfig
+    from repro.core.predictor import PredictorConfig
+    from repro.gateway import BreakerConfig, GatewayConfig, NativeCostFallback
+    from repro.lifecycle import DriftConfig, ModelLifecycle
+    from repro.warehouse.workload import ProjectProfile, generate_project
+
+    failures: list[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(("  ok   " if ok else "  FAIL ") + what)
+        if not ok:
+            failures.append(what)
+
+    profile = ProjectProfile(
+        name="cli-gateway", seed=args.seed, n_tables=12, n_templates=10,
+        stats_availability=0.2, row_scale=3e5, n_machines=60,
+    )
+    print(f"Simulating {args.days} days of history on {profile.name!r}...")
+    workload = generate_project(profile)
+    workload.simulate_history(args.days, max_queries_per_day=30)
+    loam = LOAM(
+        workload,
+        LOAMConfig(
+            max_training_queries=400,
+            candidate_alignment_queries=20,
+            predictor=PredictorConfig(epochs=args.epochs),
+        ),
+    )
+    loam.train(first_day=0, last_day=args.days - 2)
+    env = loam.environment.features()
+
+    lifecycle = ModelLifecycle(drift=DriftConfig(min_samples=8, window=16))
+    cooldown = 0.3
+    gateway = lifecycle.serve_through_gateway(
+        config=GatewayConfig(
+            max_queue_depth=64,
+            breaker=BreakerConfig(
+                window=8, min_calls=4, failure_rate_threshold=0.5,
+                cooldown_seconds=cooldown, half_open_probes=2,
+            ),
+        ),
+    )
+    explorer = PlanExplorer(workload.optimizer)
+    candidate_sets = []
+    for day in range(args.days):
+        plans = explorer.candidates(workload.sample_query(day), top_k=5)
+        if plans:
+            candidate_sets.append(plans)
+
+    print("\n[1] no model promoted yet: requests answer from the native fallback")
+    result = gateway.predict(candidate_sets[0], env_features=env)
+    reference = NativeCostFallback().predict(candidate_sets[0], env_features=env)
+    check(result.fallback and result.reason == "no-model", "fallback flagged no-model")
+    check(bool(np.array_equal(result.costs, reference)), "fallback == baseline bitwise")
+
+    print("\n[2] bootstrap; concurrent traffic is served by the learned model")
+    entry = lifecycle.bootstrap(loam.predictor, environment_features=env)
+    print(f"  serving v{entry.version} (weights_version {entry.weights_version})")
+    results: list = []
+    lock = threading.Lock()
+
+    def caller() -> None:
+        for i in range(args.requests):
+            r = gateway.predict(candidate_sets[i % len(candidate_sets)], env_features=env)
+            with lock:
+                results.append(r)
+
+    threads = [threading.Thread(target=caller) for _ in range(args.threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    check(len(results) == args.threads * args.requests, "every request answered")
+    check(all(r.source == "learned" for r in results), "all answers learned")
+    direct = lifecycle.service.predict(candidate_sets[0], env_features=env)
+    routed = gateway.predict(candidate_sets[0], env_features=env)
+    check(
+        bool(np.allclose(routed.costs, direct, rtol=1e-5)),
+        "gateway-batched predictions match direct service (rtol 1e-5)",
+    )
+
+    print("\n[3] induced model failure: fallback answers + breaker trip")
+    gateway.inject_faults(50)
+    failed = [
+        gateway.predict(candidate_sets[i % len(candidate_sets)], env_features=env)
+        for i in range(10)
+    ]
+    check(all(np.isfinite(r.costs).all() and len(r.costs) for r in failed),
+          "every request still returns a cost")
+    check(all(r.fallback for r in failed), "all answers flagged fallback")
+    check(gateway.breaker.state == "open", "circuit breaker tripped open")
+    drift = lifecycle.check_drift()
+    check(drift.retrain and any("circuit-breaker-trip" in r for r in drift.reasons),
+          "breaker trip raised drift/retrain signal")
+
+    print("\n[4] recovery: cooldown, half-open probes, breaker closes")
+    gateway.inject_faults(0)
+    time.sleep(cooldown + 0.1)
+    recovered = [gateway.predict(candidate_sets[0], env_features=env) for _ in range(3)]
+    check(gateway.breaker.state == "closed", "breaker closed after probes")
+    check(recovered[-1].source == "learned", "learned answers resumed")
+
+    print("\n[5] hot swap resets the breaker for the new model version")
+    gateway.inject_faults(50)
+    for i in range(10):
+        gateway.predict(candidate_sets[i % len(candidate_sets)], env_features=env)
+    check(gateway.breaker.state == "open", "breaker re-tripped")
+    gateway.inject_faults(0)
+    reloaded, _ = lifecycle.registry.load(entry.version)
+    gateway.swap_predictor(reloaded)
+    check(gateway.breaker.state == "closed", "swap_predictor reset the breaker")
+    swapped = gateway.predict(candidate_sets[0], env_features=env)
+    check(swapped.source == "learned", "new version serves learned answers")
+    check(
+        getattr(lifecycle.service.predictor, "weights_version", 0)
+        > entry.weights_version,
+        "swap advanced weights_version",
+    )
+
+    stats = gateway.stats()
+    print("\nTelemetry (excerpt):")
+    for name in ("requests_total", "learned_total", "fallback_total",
+                 "breaker_trips_total", "deadline_miss_total"):
+        value = stats["counters"].get(name, 0.0)
+        print(f"  {name:<24} {value:.0f}")
+    latency = stats["histograms"]["request_latency_seconds"]
+    print(f"  p50/p95/p99 latency      "
+          f"{1e3 * latency['p50']:.2f} / {1e3 * latency['p95']:.2f} / "
+          f"{1e3 * latency['p99']:.2f} ms")
+    print(f"  serving cache hits       "
+          f"{stats['gauges'].get('serving_prediction_cache_hits', 0.0):.0f} prediction / "
+          f"{stats['gauges'].get('serving_encoding_cache_hits', 0.0):.0f} encoding")
+    print("\nPrometheus exposition (first lines):")
+    for line in gateway.to_prometheus().splitlines()[:6]:
+        print(f"  {line}")
+    gateway.close()
+
+    if failures:
+        print(f"\nERROR: {len(failures)} gateway check(s) failed:", file=sys.stderr)
+        for what in failures:
+            print(f"  - {what}", file=sys.stderr)
+        return 1
+    print("\ngateway round trip: all checks passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     np.random.seed(args.seed)  # legacy global, for any stray consumers
@@ -301,6 +474,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "fleet": _cmd_fleet,
         "lifecycle": _cmd_lifecycle,
+        "gateway": _cmd_gateway,
     }
     return handlers[args.command](args)
 

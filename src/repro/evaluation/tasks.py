@@ -125,6 +125,11 @@ def lifecycle_adaptive_task(
         drift=DriftConfig(min_samples=12, window=32),
         canary=CanaryConfig(holdout_fraction=0.3, min_holdout=4),
     )
+    # The production request path: all online scoring goes through the
+    # serving gateway (fallback + breaker + telemetry) rather than touching
+    # the inference service directly.  No deadline is set, so a healthy
+    # learned path yields selections identical to direct service calls.
+    gateway = lifecycle.serve_through_gateway()
     env = loam.environment.features()
     fingerprint = training_data_fingerprint(
         [r.plan for r in project.train_records],
@@ -138,7 +143,7 @@ def lifecycle_adaptive_task(
     # retained candidate was actually run in flighting, so each one is a
     # (predicted, observed) feedback pair for the serving model.
     for qc in measured:
-        predicted = lifecycle.service.predict(qc.plans, env_features=env)
+        predicted = gateway.predict(qc.plans, env_features=env).costs
         for plan, pred, observed in zip(qc.plans, predicted, qc.measured_costs):
             lifecycle.observe(
                 plan,
@@ -151,7 +156,7 @@ def lifecycle_adaptive_task(
 
     results = evaluate_methods(
         project,
-        {"loam": lifecycle.service, "loam-na": loam_na.predictor},
+        {"loam": gateway, "loam-na": loam_na.predictor},
         env_features={"loam": env, "loam-na": loam_na.environment.features()},
         measured=measured,
     )
@@ -162,7 +167,14 @@ def lifecycle_adaptive_task(
         "drift": drift,
         "canary": canary,
         "served_version": lifecycle.current_version.version,
+        "gateway": {
+            "requests": gateway.telemetry.counter("requests_total").value,
+            "learned": gateway.telemetry.counter("learned_total").value,
+            "fallbacks": gateway.telemetry.counter("fallback_total").value,
+            "breaker": gateway.breaker.stats(),
+        },
     }
+    gateway.close()
     return results
 
 

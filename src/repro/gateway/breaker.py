@@ -1,0 +1,222 @@
+"""Per-model-version circuit breaker for the learned serving path.
+
+Classic three-state breaker (closed → open → half-open) over a rolling
+outcome window:
+
+* **closed** — every request may take the learned path.  Each outcome is
+  pushed into a bounded window; when at least ``min_calls`` outcomes exist
+  and the failed-or-slow fraction reaches ``failure_rate_threshold``, the
+  breaker trips.
+* **open** — the learned path is off; callers answer from the fallback
+  without queueing.  After ``cooldown_seconds`` the next ``allow`` call
+  moves the breaker to half-open.
+* **half-open** — up to ``half_open_probes`` probe requests may take the
+  learned path.  ``half_open_probes`` consecutive successes close the
+  breaker (window cleared: the new-or-recovered model starts with a clean
+  record); any failure re-opens it and restarts the cooldown.
+
+"Slow" outcomes count toward the trip the same way errors do — a learned
+path that answers correctly but blows its deadline budget is just as
+unusable online (the paper's guardrail stance: never let the learned
+component hold the optimizer hostage).  ``reset`` returns to closed
+unconditionally; the gateway calls it on every ``swap_predictor`` so a
+freshly promoted model is never punished for its predecessor's record.
+
+The clock is injectable (monotonic seconds) so trip/cooldown/probe
+transitions are unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["BreakerConfig", "BreakerOpenError", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class BreakerOpenError(RuntimeError):
+    """Raised by :meth:`CircuitBreaker.check` when the learned path is off."""
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip and recovery thresholds (documented in docs/GATEWAY.md)."""
+
+    #: Rolling outcome window evaluated for the trip decision.
+    window: int = 32
+    #: No trip below this many recorded outcomes (cold-start guard).
+    min_calls: int = 8
+    #: Failed-or-slow fraction of the window that trips the breaker.
+    failure_rate_threshold: float = 0.5
+    #: Latency above which a *successful* call is still recorded as slow;
+    #: ``None`` means only explicit slow marks (deadline misses) count.
+    slow_call_seconds: float | None = None
+    #: Seconds the breaker stays open before probing.
+    cooldown_seconds: float = 30.0
+    #: Consecutive probe successes required to close from half-open.
+    half_open_probes: int = 3
+
+
+class CircuitBreaker:
+    """Thread-safe breaker guarding one served model version."""
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        on_trip: Callable[["CircuitBreaker"], None] | None = None,
+        on_reset: Callable[["CircuitBreaker"], None] | None = None,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self.clock = clock
+        self.on_trip = on_trip
+        self.on_reset = on_reset
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=self.config.window)  # True == bad
+        self._opened_at = 0.0
+        self._probes_issued = 0
+        self._probe_successes = 0
+        self.trip_count = 0
+        self.failure_count = 0
+        self.slow_count = 0
+        self.success_count = 0
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        # An expired cooldown reads as half-open even before the next allow()
+        # performs the transition, so observers never see a stale "open".
+        if self._state == OPEN and self.clock() - self._opened_at >= self.config.cooldown_seconds:
+            return HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May the next request take the learned path?  In half-open state
+        this *consumes* one probe slot."""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self.clock() - self._opened_at < self.config.cooldown_seconds:
+                    return False
+                self._state = HALF_OPEN
+                self._probes_issued = 0
+                self._probe_successes = 0
+            # half-open: grant a bounded number of in-flight probes.
+            if self._probes_issued < self.config.half_open_probes:
+                self._probes_issued += 1
+                return True
+            return False
+
+    def check(self) -> None:
+        """``allow`` in exception form (for call sites without a fallback)."""
+        if not self.allow():
+            raise BreakerOpenError("circuit breaker is open: learned path disabled")
+
+    # -- outcomes -------------------------------------------------------------
+
+    def record_success(self, latency_seconds: float | None = None) -> None:
+        slow = (
+            self.config.slow_call_seconds is not None
+            and latency_seconds is not None
+            and latency_seconds > self.config.slow_call_seconds
+        )
+        tripped = False
+        with self._lock:
+            self.success_count += 1
+            if slow:
+                self.slow_count += 1
+            if self._state == HALF_OPEN:
+                if slow:
+                    tripped = self._trip_locked()
+                else:
+                    self._probe_successes += 1
+                    if self._probe_successes >= self.config.half_open_probes:
+                        self._close_locked()
+            elif self._state == CLOSED:
+                self._outcomes.append(slow)
+                tripped = self._evaluate_locked()
+            # open: stale outcome from before the trip; the window is gone.
+        if tripped and self.on_trip is not None:
+            self.on_trip(self)
+
+    def record_failure(self, *, kind: str = "error") -> None:
+        """Record a learned-path failure; ``kind`` is ``"error"`` (raised) or
+        ``"slow"`` (deadline budget missed)."""
+        tripped = False
+        with self._lock:
+            if kind == "slow":
+                self.slow_count += 1
+            else:
+                self.failure_count += 1
+            if self._state == HALF_OPEN:
+                tripped = self._trip_locked()
+            elif self._state == CLOSED:
+                self._outcomes.append(True)
+                tripped = self._evaluate_locked()
+        if tripped and self.on_trip is not None:
+            self.on_trip(self)
+
+    def _evaluate_locked(self) -> bool:
+        outcomes = self._outcomes
+        if len(outcomes) < self.config.min_calls:
+            return False
+        if sum(outcomes) / len(outcomes) >= self.config.failure_rate_threshold:
+            return self._trip_locked()
+        return False
+
+    def _trip_locked(self) -> bool:
+        self._state = OPEN
+        self._opened_at = self.clock()
+        self.trip_count += 1
+        self._outcomes.clear()
+        return True
+
+    def _close_locked(self) -> None:
+        self._state = CLOSED
+        self._outcomes.clear()
+        self._probes_issued = 0
+        self._probe_successes = 0
+
+    def release_probe(self) -> None:
+        """Return an unused half-open probe slot (the gateway grants a probe
+        at admission; if the request is then shed before reaching the
+        learned path, the slot must not leak or half-open could stall)."""
+        with self._lock:
+            if self._state == HALF_OPEN and self._probes_issued > 0:
+                self._probes_issued -= 1
+
+    def reset(self) -> None:
+        """Unconditionally close (the ``swap_predictor`` hook): a new model
+        version starts with a clean record."""
+        with self._lock:
+            self._close_locked()
+        if self.on_reset is not None:
+            self.on_reset(self)
+
+    # -- reporting ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "trip_count": self.trip_count,
+                "success_count": self.success_count,
+                "failure_count": self.failure_count,
+                "slow_count": self.slow_count,
+                "window_filled": len(self._outcomes),
+            }

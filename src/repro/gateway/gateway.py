@@ -1,0 +1,541 @@
+"""The optimizer gateway: a concurrent, deadline-bounded serving front end.
+
+:class:`~repro.serving.service.CostInferenceService` is a deliberately
+single-threaded fast path (its batch buffers are recycled per request).
+Production steering traffic is the opposite shape: many query compilers
+asking concurrently, each inside its own optimizer latency budget, against
+a learned model that can be slow, broken, or mid-replacement.  The
+:class:`OptimizerGateway` closes that gap:
+
+* **admission control** — a bounded request queue; when it is full the
+  request is *shed* and answered from the fallback immediately instead of
+  growing an unbounded backlog;
+* **micro-batch coalescing** — one worker thread drains the queue, merging
+  compatible requests (same environment override) into a single learned
+  batch within a small linger window, so concurrent callers ride the
+  serving layer's size-bucketed batching instead of serializing one
+  candidate set at a time;
+* **deadline budgets** — every request carries a deadline; a caller whose
+  budget expires answers from the fallback *immediately* (it never blocks
+  on the learned path), and the miss is recorded against the breaker as a
+  slow call;
+* **circuit breaker** — per served model version (reset on every
+  ``swap_predictor``): repeated errors or deadline misses trip it, open
+  state answers straight from the fallback without queueing, and a
+  half-open probe sequence decides recovery (:mod:`repro.gateway.breaker`);
+* **deterministic fallback** — the statistics-free native cost model
+  (:mod:`repro.gateway.fallback`); every response is flagged with its
+  source and reason, so callers and dashboards can tell a learned answer
+  from a guardrail answer;
+* **telemetry** — counters, gauges, and latency histograms for every
+  decision point, exported as JSON or Prometheus text
+  (:mod:`repro.gateway.telemetry`), including the inference service's
+  cache-tier hit/miss/eviction counters.
+
+Every request is answered with a cost vector, whatever happens to the
+learned path — the gateway's one invariant.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gateway.breaker import BreakerConfig, CircuitBreaker
+from repro.gateway.fallback import NativeCostFallback
+from repro.gateway.telemetry import Telemetry
+
+__all__ = ["GatewayConfig", "GatewayResult", "OptimizerGateway"]
+
+#: Breaker-state gauge encoding (``breaker_state`` telemetry gauge).
+_BREAKER_STATE_CODES = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Operating limits of the serving front end."""
+
+    #: Pending requests admitted before load shedding kicks in.
+    max_queue_depth: int = 64
+    #: Upper bound on plans merged into one learned batch.
+    max_coalesce_plans: int = 256
+    #: How long the worker lingers for more compatible requests once it has
+    #: one in hand.  Zero (the default) coalesces only what is already
+    #: queued — concurrent bursts still merge, because requests pile up
+    #: while the previous batch executes; a nonzero window additionally
+    #: catches near-simultaneous arrivals, at the cost of adding the full
+    #: window to every idle-path request.
+    coalesce_window_ms: float = 0.0
+    #: Deadline applied when the caller does not pass one.  ``None`` means
+    #: requests without an explicit deadline wait for the learned answer.
+    default_deadline_ms: float | None = None
+    #: Circuit-breaker thresholds for the learned path.
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+
+
+class GatewayResult:
+    """One answered request: a cost vector plus how it was produced.
+
+    Acts as an array (``np.argmin(result)``, ``len``, iteration, indexing
+    all read ``costs``) so it is a drop-in for the raw prediction vectors
+    the serving layer returns.
+    """
+
+    __slots__ = ("costs", "source", "reason", "latency_ms", "model_version")
+
+    def __init__(
+        self,
+        costs: np.ndarray,
+        source: str,
+        reason: str,
+        latency_ms: float,
+        model_version: int | None,
+    ) -> None:
+        self.costs = costs
+        self.source = source  # "learned" | "fallback"
+        self.reason = reason  # "ok" | "no-model" | "shed" | "deadline" | ...
+        self.latency_ms = latency_ms
+        self.model_version = model_version
+
+    @property
+    def fallback(self) -> bool:
+        return self.source == "fallback"
+
+    def __array__(self, dtype=None, copy=None):
+        return np.asarray(self.costs, dtype=dtype)
+
+    def __len__(self) -> int:
+        return len(self.costs)
+
+    def __iter__(self):
+        return iter(self.costs)
+
+    def __getitem__(self, index):
+        return self.costs[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"GatewayResult({self.source}/{self.reason}, n={len(self.costs)}, "
+            f"latency={self.latency_ms:.2f}ms)"
+        )
+
+
+class _PendingRequest:
+    """One caller's unit of work, parked on the queue until the worker
+    batches it (or the caller's deadline abandons it)."""
+
+    __slots__ = (
+        "plans", "env_features", "env_key", "deadline", "enqueued_at",
+        "event", "result", "error", "abandoned", "done",
+    )
+
+    def __init__(self, plans, env_features, env_key, deadline, now) -> None:
+        self.plans = plans
+        self.env_features = env_features
+        self.env_key = env_key
+        self.deadline = deadline  # absolute monotonic seconds, or None
+        self.enqueued_at = now
+        self.event = threading.Event()
+        self.result: np.ndarray | None = None
+        self.error: BaseException | None = None
+        self.abandoned = False
+        self.done = False
+
+
+class OptimizerGateway:
+    """Concurrent serving front end over one inference service.
+
+    ``service`` may be ``None`` (a project before its first promoted model):
+    every request answers from the fallback with reason ``"no-model"`` until
+    :meth:`attach_service` installs the learned path.  ``service`` is
+    duck-typed — it must expose ``predict(plans, env_features=...)`` and may
+    expose ``swap_predictor``, ``cache_counters`` and a ``predictor`` with a
+    ``weights_version`` counter.
+    """
+
+    def __init__(
+        self,
+        service=None,
+        *,
+        fallback: NativeCostFallback | None = None,
+        config: GatewayConfig | None = None,
+        breaker: CircuitBreaker | None = None,
+        telemetry: Telemetry | None = None,
+        on_trip=None,
+    ) -> None:
+        self.config = config or GatewayConfig()
+        self.fallback = fallback or NativeCostFallback()
+        self.telemetry = telemetry or Telemetry()
+        self._on_trip = on_trip
+        self.breaker = breaker or CircuitBreaker(self.config.breaker)
+        # Chain, don't clobber: a caller-provided breaker may carry its own
+        # trip hook; the gateway adds telemetry + the lifecycle signal.
+        self._user_breaker_trip = self.breaker.on_trip
+        self.breaker.on_trip = self._breaker_tripped
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._queue: deque[_PendingRequest] = deque()
+        self._service = service
+        self._service_lock = threading.Lock()
+        self._fault_budget = 0
+        self._fault_error: BaseException | None = None
+        self._running = True
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="optimizer-gateway", daemon=True
+        )
+        self._worker.start()
+
+    # -- service management ----------------------------------------------------
+
+    @property
+    def service(self):
+        return self._service
+
+    @property
+    def has_model(self) -> bool:
+        return self._service is not None
+
+    def attach_service(self, service) -> None:
+        """Install (or replace) the learned path; resets the breaker."""
+        with self._service_lock:
+            self._service = service
+        self.notify_swap()
+
+    def swap_predictor(self, predictor) -> None:
+        """Hot-swap the served model through the inference service and reset
+        the breaker (a promoted model starts with a clean record)."""
+        if self._service is None:
+            raise RuntimeError("gateway has no inference service to swap into")
+        with self._service_lock:
+            self._service.swap_predictor(predictor)
+        self.notify_swap()
+
+    def notify_swap(self) -> None:
+        """Called after the underlying service's model changed (directly or
+        via the lifecycle's promote path): clean breaker, fresh gauges."""
+        self.breaker.reset()
+        self.telemetry.counter("swaps_total", "model hot swaps observed").inc()
+        self._sync_gauges()
+
+    def _model_version(self) -> int | None:
+        service = self._service
+        if service is None:
+            return None
+        return getattr(getattr(service, "predictor", None), "weights_version", None)
+
+    # -- request path ----------------------------------------------------------
+
+    def predict(
+        self,
+        plans,
+        *,
+        env_features: tuple[float, float, float, float] | None = None,
+        deadline_ms: float | None = None,
+    ) -> GatewayResult:
+        """Score ``plans`` within the deadline budget.  Always returns a
+        cost per plan; ``result.source`` says whether the learned model or
+        the native fallback produced it."""
+        started = time.monotonic()
+        self.telemetry.counter("requests_total", "requests received").inc()
+        self.telemetry.counter("plans_total", "plans scored").inc(len(plans))
+        if not len(plans):
+            return self._finish(
+                GatewayResult(np.zeros(0), "learned", "ok", 0.0, self._model_version()),
+                started,
+            )
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+
+        if self._service is None:
+            return self._fallback_result(plans, env_features, "no-model", started)
+        if not self.breaker.allow():
+            return self._fallback_result(plans, env_features, "circuit-open", started)
+
+        env_key = (
+            tuple(float(v) for v in env_features) if env_features is not None else None
+        )
+        deadline = started + deadline_ms / 1e3 if deadline_ms is not None else None
+        request = _PendingRequest(list(plans), env_features, env_key, deadline, started)
+
+        with self._work:
+            if len(self._queue) >= self.config.max_queue_depth:
+                shed = True
+            else:
+                shed = False
+                self._queue.append(request)
+                self.telemetry.gauge("queue_depth", "pending requests").set(
+                    len(self._queue)
+                )
+                self._work.notify()
+        if shed:
+            self.breaker.release_probe()
+            return self._fallback_result(plans, env_features, "shed", started)
+
+        timeout = deadline - time.monotonic() if deadline is not None else None
+        if timeout is not None and timeout > 0:
+            request.event.wait(timeout)
+        elif timeout is None:
+            request.event.wait()
+        # else: budget already exhausted by admission; fall through.
+
+        with self._lock:
+            done, error = request.done, request.error
+            if not done:
+                request.abandoned = True
+        if done and error is None:
+            assert request.result is not None
+            return self._finish(
+                GatewayResult(
+                    request.result,
+                    "learned",
+                    "ok",
+                    1e3 * (time.monotonic() - started),
+                    self._model_version(),
+                ),
+                started,
+            )
+        if done:
+            return self._fallback_result(plans, env_features, "model-error", started)
+        self.telemetry.counter("deadline_miss_total", "requests past budget").inc()
+        return self._fallback_result(plans, env_features, "deadline", started)
+
+    def select_best_index(
+        self,
+        plans,
+        *,
+        env_features: tuple[float, float, float, float] | None = None,
+        deadline_ms: float | None = None,
+    ) -> tuple[int, np.ndarray]:
+        """The steering decision with the serving layer's contract: the
+        winning candidate index plus the full prediction vector."""
+        if not len(plans):
+            raise ValueError("select_best_index on an empty candidate list")
+        result = self.predict(plans, env_features=env_features, deadline_ms=deadline_ms)
+        return int(np.argmin(result.costs)), result.costs
+
+    def select_best(
+        self,
+        plans,
+        *,
+        env_features: tuple[float, float, float, float] | None = None,
+        deadline_ms: float | None = None,
+    ):
+        index, predictions = self.select_best_index(
+            plans, env_features=env_features, deadline_ms=deadline_ms
+        )
+        return plans[index], predictions
+
+    # -- fallback + bookkeeping ------------------------------------------------
+
+    def _fallback_result(self, plans, env_features, reason, started) -> GatewayResult:
+        costs = self.fallback.predict(list(plans), env_features=env_features)
+        self.telemetry.counter("fallback_total", "requests answered by fallback").inc()
+        self.telemetry.counter(
+            f"fallback_{reason.replace('-', '_')}_total", f"fallbacks: {reason}"
+        ).inc()
+        return self._finish(
+            GatewayResult(
+                costs, "fallback", reason, 1e3 * (time.monotonic() - started), None
+            ),
+            started,
+        )
+
+    def _finish(self, result: GatewayResult, started: float) -> GatewayResult:
+        if result.source == "learned":
+            self.telemetry.counter("learned_total", "requests answered learned").inc()
+        self.telemetry.histogram(
+            "request_latency_seconds", "end-to-end request latency"
+        ).observe(time.monotonic() - started)
+        return result
+
+    def _breaker_tripped(self, breaker) -> None:
+        self.telemetry.counter(
+            "breaker_trips_total", "circuit breaker trips"
+        ).inc()
+        self._sync_gauges()
+        if self._user_breaker_trip is not None:
+            self._user_breaker_trip(breaker)
+        if self._on_trip is not None:
+            self._on_trip(self)
+
+    # -- fault injection (smoke tests / chaos drills) --------------------------
+
+    def inject_faults(self, n: int, error: BaseException | None = None) -> None:
+        """Arm the learned path to raise on its next ``n`` batches.  This is
+        the supported chaos hook the ``gateway`` smoke CLI and CI use to
+        prove the fallback + breaker behaviour without reaching into
+        internals."""
+        with self._lock:
+            self._fault_budget = int(n)
+            self._fault_error = error
+
+    # -- worker ----------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work:
+                while self._running and not self._queue:
+                    self._work.wait()
+                if not self._running and not self._queue:
+                    return
+                first = self._queue.popleft()
+                self.telemetry.gauge("queue_depth", "pending requests").set(
+                    len(self._queue)
+                )
+                if first.abandoned:
+                    abandoned_early = True
+                else:
+                    abandoned_early = False
+            if abandoned_early:
+                # The caller already answered from the fallback; the learned
+                # path failed to schedule it in budget — a slow call.
+                self.breaker.record_failure(kind="slow")
+                continue
+            group = self._coalesce(first)
+            self._execute(group)
+
+    def _coalesce(self, first: _PendingRequest) -> list[_PendingRequest]:
+        """Merge queued requests with the same environment key into one
+        learned batch, lingering up to ``coalesce_window_ms`` for more."""
+        group = [first]
+        total = len(first.plans)
+        linger_until = time.monotonic() + self.config.coalesce_window_ms / 1e3
+        while total < self.config.max_coalesce_plans:
+            with self._work:
+                while (
+                    self._running
+                    and not self._queue
+                    and time.monotonic() < linger_until
+                ):
+                    self._work.wait(timeout=max(1e-4, linger_until - time.monotonic()))
+                if not self._queue:
+                    break
+                nxt = self._queue[0]
+                if nxt.env_key != first.env_key:
+                    break
+                if total + len(nxt.plans) > self.config.max_coalesce_plans:
+                    break
+                self._queue.popleft()
+                self.telemetry.gauge("queue_depth", "pending requests").set(
+                    len(self._queue)
+                )
+                if nxt.abandoned:
+                    nxt = None
+            if nxt is None:
+                self.breaker.record_failure(kind="slow")
+                continue
+            group.append(nxt)
+            total += len(nxt.plans)
+        return group
+
+    def _execute(self, group: list[_PendingRequest]) -> None:
+        all_plans = [plan for request in group for plan in request.plans]
+        env_features = group[0].env_features
+        started = time.monotonic()
+        error: BaseException | None = None
+        predictions: np.ndarray | None = None
+        try:
+            with self._lock:
+                if self._fault_budget > 0:
+                    self._fault_budget -= 1
+                    raise self._fault_error or RuntimeError(
+                        "injected learned-path fault"
+                    )
+            with self._service_lock:
+                predictions = self._service.predict(
+                    all_plans, env_features=env_features
+                )
+        except BaseException as exc:  # noqa: BLE001 — every failure must answer
+            error = exc
+        elapsed = time.monotonic() - started
+        self.telemetry.counter("batches_total", "learned batches executed").inc()
+        self.telemetry.histogram(
+            "learned_batch_seconds", "learned-path batch latency"
+        ).observe(elapsed)
+        self.telemetry.histogram("batch_plans", "plans per learned batch").observe(
+            len(all_plans)
+        )
+
+        offset = 0
+        now = time.monotonic()
+        for request in group:
+            n = len(request.plans)
+            with self._lock:
+                abandoned = request.abandoned
+                if not abandoned:
+                    request.done = True
+                    if error is not None:
+                        request.error = error
+                    else:
+                        request.result = np.asarray(predictions[offset : offset + n])
+                    request.event.set()
+            if abandoned:
+                # Caller answered from fallback at its deadline while we were
+                # computing: a slow call against the breaker.
+                self.breaker.record_failure(kind="slow")
+            elif error is not None:
+                self.breaker.record_failure(kind="error")
+            else:
+                self.breaker.record_success(now - request.enqueued_at)
+            offset += n
+        self._sync_gauges()
+
+    # -- reporting -------------------------------------------------------------
+
+    def _sync_gauges(self) -> None:
+        self.telemetry.gauge("breaker_state", "0 closed, 1 half-open, 2 open").set(
+            _BREAKER_STATE_CODES[self.breaker.state]
+        )
+        version = self._model_version()
+        if version is not None:
+            self.telemetry.gauge(
+                "model_weights_version", "served weights_version"
+            ).set(version)
+        service = self._service
+        counters = getattr(service, "cache_counters", None)
+        if counters is not None:
+            for name, value in counters().items():
+                self.telemetry.gauge(
+                    f"serving_{name}", "inference-service cache counter"
+                ).set(value)
+
+    def stats(self) -> dict:
+        """JSON-able operational snapshot: telemetry, breaker, queue."""
+        self._sync_gauges()
+        snapshot = self.telemetry.snapshot()
+        with self._lock:
+            depth = len(self._queue)
+        snapshot["breaker"] = self.breaker.stats()
+        snapshot["queue_depth"] = depth
+        snapshot["has_model"] = self.has_model
+        return snapshot
+
+    def to_prometheus(self) -> str:
+        self._sync_gauges()
+        return self.telemetry.to_prometheus()
+
+    # -- shutdown --------------------------------------------------------------
+
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Stop the worker.  Requests still queued when it exits are failed
+        over to the fallback by their waiting callers."""
+        with self._work:
+            self._running = False
+            self._work.notify_all()
+        self._worker.join(timeout)
+        with self._lock:
+            while self._queue:
+                request = self._queue.popleft()
+                request.done = True
+                request.error = RuntimeError("gateway closed")
+                request.event.set()
+
+    def __enter__(self) -> "OptimizerGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

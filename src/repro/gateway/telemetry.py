@@ -1,0 +1,253 @@
+"""Thread-safe telemetry core for the serving front end.
+
+Three instrument kinds, one registry:
+
+* :class:`Counter` — monotonically increasing totals (requests served,
+  fallbacks by reason, breaker trips);
+* :class:`Gauge` — point-in-time values (queue depth, breaker state,
+  serving-cache hit counters mirrored from the inference service);
+* :class:`Histogram` — latency/size distributions with p50/p95/p99 read
+  from a bounded reservoir of recent observations, plus exact
+  count/sum/min/max over the full lifetime.
+
+A :class:`Telemetry` registry creates instruments on first use (get-or-
+create, so instrumented code never needs registration boilerplate), times
+code blocks via :meth:`Telemetry.span`, and exports everything as a JSON
+document or Prometheus text exposition (counters, gauges, and summaries
+with quantile labels).  All instruments are safe to update from multiple
+threads; exports take a consistent per-instrument snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict, deque
+from contextlib import contextmanager
+
+__all__ = ["Counter", "Gauge", "Histogram", "Telemetry"]
+
+#: Quantiles reported for every histogram, in export order.
+QUANTILES = (0.50, 0.95, 0.99)
+
+
+def _sanitize(name: str) -> str:
+    """Prometheus metric names allow ``[a-zA-Z0-9_:]`` only."""
+    return "".join(c if c.isalnum() or c in "_:" else "_" for c in name)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (or be set outright)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Lifetime count/sum/min/max plus quantiles over a recent reservoir.
+
+    The reservoir is a bounded FIFO window (not a decaying sample): p50/p95/
+    p99 describe the last ``window`` observations, which is what an operator
+    watching a serving dashboard wants — current behaviour, not the average
+    over a process lifetime that may span several model versions.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", *, window: int = 2048) -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._window: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._window.append(value)
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (nearest-rank) of the recent window; 0.0 when
+        nothing has been observed."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if not self._window:
+                return 0.0
+            ordered = sorted(self._window)
+        return ordered[int(q * (len(ordered) - 1))]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            window = sorted(self._window)
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+        quantiles = {
+            f"p{int(q * 100)}": (window[int(q * (len(window) - 1))] if window else 0.0)
+            for q in QUANTILES
+        }
+        return {
+            "count": count,
+            "sum": total,
+            "min": lo if count else 0.0,
+            "max": hi if count else 0.0,
+            "mean": total / count if count else 0.0,
+            **quantiles,
+        }
+
+
+class Telemetry:
+    """Get-or-create instrument registry with JSON and Prometheus export."""
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = _sanitize(namespace)
+        self._lock = threading.Lock()
+        self._instruments: "OrderedDict[str, Counter | Gauge | Histogram]" = OrderedDict()
+
+    # -- instrument access ----------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name, help, **kwargs)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"telemetry name {name!r} is a {instrument.kind}, "
+                    f"requested {cls.__name__.lower()}"
+                )
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "", *, window: int = 2048) -> Histogram:
+        return self._get_or_create(Histogram, name, help, window=window)
+
+    @contextmanager
+    def span(self, name: str):
+        """Time a code block: ``<name>_total`` counts entries and
+        ``<name>_seconds`` records the duration histogram."""
+        counter = self.counter(f"{name}_total", f"entries into span {name}")
+        histogram = self.histogram(f"{name}_seconds", f"duration of span {name}")
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            histogram.observe(time.perf_counter() - started)
+            counter.inc()
+
+    # -- export ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One consistent-enough JSON-able view of every instrument."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for instrument in instruments:
+            out[f"{instrument.kind}s"][instrument.name] = instrument.snapshot()
+        return out
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition: counters as ``_total``-suffixed
+        counters, gauges verbatim, histograms as summaries with quantile
+        labels plus ``_count``/``_sum``."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        lines: list[str] = []
+        for instrument in instruments:
+            metric = f"{self.namespace}_{_sanitize(instrument.name)}"
+            if instrument.help:
+                lines.append(f"# HELP {metric} {instrument.help}")
+            if isinstance(instrument, Counter):
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {instrument.value:.10g}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {instrument.value:.10g}")
+            else:
+                snap = instrument.snapshot()
+                lines.append(f"# TYPE {metric} summary")
+                for q in QUANTILES:
+                    value = snap[f"p{int(q * 100)}"]
+                    lines.append(f'{metric}{{quantile="{q:g}"}} {value:.10g}')
+                lines.append(f"{metric}_sum {snap['sum']:.10g}")
+                lines.append(f"{metric}_count {snap['count']}")
+        return "\n".join(lines) + "\n"

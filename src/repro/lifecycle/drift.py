@@ -78,16 +78,34 @@ def _env_matrix(records: list[FeedbackRecord]) -> np.ndarray:
 
 
 class DriftMonitor:
-    """Rolling prediction-error and environment-distribution statistics."""
+    """Rolling prediction-error and environment-distribution statistics.
+
+    Besides its own statistics, the monitor accepts *external* guardrail
+    signals via :meth:`flag` — the serving gateway raises one whenever the
+    incumbent's circuit breaker trips, because a model that errors or blows
+    its latency budget online needs a retrain candidate regardless of what
+    the feedback log's q-errors say.  Flags are consumed by the next
+    :meth:`assess` and force ``retrain=True`` even below ``min_samples``.
+    """
 
     def __init__(self, config: DriftConfig | None = None) -> None:
         self.config = config or DriftConfig()
+        self._external_reasons: list[str] = []
+
+    def flag(self, reason: str) -> None:
+        """Queue an external retrain signal (e.g. ``circuit-breaker-trip``)
+        for the next assessment; duplicate reasons collapse."""
+        if reason not in self._external_reasons:
+            self._external_reasons.append(reason)
 
     def assess(self, log: FeedbackLog) -> DriftReport:
         cfg = self.config
         records = log.records()
         report = DriftReport(retrain=False, n_samples=len(records))
+        report.reasons.extend(self._external_reasons)
+        self._external_reasons = []
         if len(records) < cfg.min_samples:
+            report.retrain = bool(report.reasons)
             return report
 
         recent = records[-cfg.window :]

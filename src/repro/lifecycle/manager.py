@@ -63,6 +63,10 @@ class ModelLifecycle:
         self._service_kwargs = service_kwargs or {}
         self._predictor = None
         self._service = None
+        #: Gateways fronting this lifecycle's service (see
+        #: :meth:`serve_through_gateway`); notified on every hot swap so
+        #: their circuit breakers reset for the new model version.
+        self._gateways: list = []
         self.environment_features: tuple[float, float, float, float] | None = None
         if self.registry.current is not None:
             predictor, env = self.registry.load()
@@ -100,9 +104,56 @@ class ModelLifecycle:
         if self._service is None:
             self._predictor = predictor
             self._service = CostInferenceService(predictor, **self._service_kwargs)
+            for gateway in self._gateways:
+                gateway.attach_service(self._service)
         else:
             self._service.swap_predictor(predictor)
             self._predictor = predictor
+            for gateway in self._gateways:
+                gateway.notify_swap()
+
+    def serve_through_gateway(
+        self,
+        *,
+        fallback=None,
+        config=None,
+        breaker=None,
+        telemetry=None,
+    ):
+        """Build an :class:`~repro.gateway.gateway.OptimizerGateway` fronting
+        this lifecycle's inference service — the entry point concurrent
+        callers should use instead of touching :attr:`service` directly.
+
+        The wiring closes the guardrail loop both ways:
+
+        * every promotion/rollback hot swap resets the gateway's circuit
+          breaker (a new model version starts with a clean record);
+        * a breaker *trip* flags the drift monitor, so the next
+          :meth:`check_drift` reports ``retrain=True`` with a
+          ``circuit-breaker-trip`` reason even if the feedback log alone
+          looks healthy — a misbehaving incumbent is a retrain signal, not
+          just an availability event.
+
+        Works before the first promotion too: the gateway answers from the
+        native fallback (reason ``"no-model"``) until a model is attached.
+        """
+        from repro.gateway import OptimizerGateway
+
+        def _flag_drift(gateway) -> None:
+            version = self.current_version
+            suffix = f":v{version.version}" if version is not None else ""
+            self.drift_monitor.flag(f"circuit-breaker-trip{suffix}")
+
+        gateway = OptimizerGateway(
+            self._service,
+            fallback=fallback,
+            config=config,
+            breaker=breaker,
+            telemetry=telemetry,
+            on_trip=_flag_drift,
+        )
+        self._gateways.append(gateway)
+        return gateway
 
     # -- rollout -------------------------------------------------------------
 

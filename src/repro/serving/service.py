@@ -304,6 +304,23 @@ class CostInferenceService:
             p99_latency_ms=p99,
         )
 
+    def cache_counters(self) -> dict[str, int]:
+        """Flat hit/miss/eviction/occupancy counters for both cache tiers,
+        in the shape the gateway publishes as telemetry gauges (the caches
+        were otherwise observable only through :meth:`stats`)."""
+        return {
+            "encoding_cache_hits": self.encoding_cache.hits,
+            "encoding_cache_misses": self.encoding_cache.misses,
+            "encoding_cache_evictions": self.encoding_cache.evictions,
+            "encoding_cache_size": len(self.encoding_cache),
+            "encoding_cache_capacity": self.encoding_cache.capacity,
+            "prediction_cache_hits": self.prediction_cache.hits,
+            "prediction_cache_misses": self.prediction_cache.misses,
+            "prediction_cache_evictions": self.prediction_cache.evictions,
+            "prediction_cache_size": len(self.prediction_cache),
+            "prediction_cache_capacity": self.prediction_cache.capacity,
+        }
+
     def reset_stats(self) -> None:
         self._batch_count = 0
         self._request_count = 0

@@ -3,7 +3,8 @@
 #
 # Runs the full unit/integration suite at REPRO_SCALE=smoke, then the
 # serving-layer throughput benchmark (BENCH_serving.json: plans/sec,
-# p50/p99 latency, cold/warm speedups, cache stats), the training-loop
+# p50/p99 latency, cold/quantized-cold/warm speedups, post-swap cache
+# warming, quantization gate, cache stats), the training-loop
 # throughput benchmark (BENCH_training.json: fit seconds, epoch seconds,
 # steps/sec, fast-vs-reference speedup), the gateway front-end benchmark
 # (BENCH_gateway.json: concurrent throughput, p50/p99 request latency,
@@ -56,12 +57,19 @@ python - "${BENCH_SERVING_OUT}" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as fh:
     artifact = json.load(fh)
+quant = artifact["quantize"]
+swap = artifact["warm_after_swap"]
 print(
     f"warm {artifact['warm']['plans_per_sec']:,.0f} plans/s "
     f"({artifact['warm_speedup']:.1f}x), "
     f"cold {artifact['cold']['plans_per_sec']:,.0f} plans/s "
     f"({artifact['cold_speedup']:.1f}x), "
-    f"naive {artifact['naive']['plans_per_sec']:,.0f} plans/s"
+    f"cold quantized {artifact['cold_quantized']['plans_per_sec']:,.0f} plans/s "
+    f"({artifact['cold_quantized_speedup']:.1f}x, {quant['mode']} "
+    f"active={quant['active']} gate {quant['gate_rel_err']:.1e}), "
+    f"naive {artifact['naive']['plans_per_sec']:,.0f} plans/s; "
+    f"post-swap {swap['warmed_plans']} plans warmed, first pass "
+    f"{swap['prediction_hits']} hits / {swap['prediction_misses']} misses"
 )
 EOF
 echo "${BENCH_TRAINING_OUT}"

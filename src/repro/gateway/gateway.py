@@ -500,7 +500,11 @@ class OptimizerGateway:
         if counters is not None:
             for name, value in counters().items():
                 self.telemetry.gauge(
-                    f"serving_{name}", "inference-service cache counter"
+                    f"serving_{name}",
+                    "inference-service counter: cache hit/miss tallies plus the "
+                    "cold-path attribution split (encode/forward/quantize "
+                    "seconds, parallel-encode batches, warmed plans, "
+                    "quantization gate state)",
                 ).set(value)
 
     def stats(self) -> dict:

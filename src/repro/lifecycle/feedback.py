@@ -167,6 +167,39 @@ class FeedbackLog:
         pool = self.records() if records is None else records
         return [r for r in pool if r.plan is not None]
 
+    def hottest_plans(
+        self,
+        n: int,
+        *,
+        default_env: tuple[float, float, float, float] | None = None,
+    ) -> list[tuple[object, tuple[float, float, float, float] | None]]:
+        """The ``n`` most frequently executed plan shapes still holding a
+        plan object, hottest first, as ``(plan, env_features)`` pairs ready
+        for :meth:`CostInferenceService.warm_caches` — the post-swap warming
+        pass scores these so a promote's first requests for recurring plans
+        are cache hits.
+
+        Frequency counts every record of a fingerprint (including reloaded
+        ones without plans); the representative plan and environment come
+        from the fingerprint's most recent in-memory record, with
+        ``default_env`` filling in when that record carried no environment.
+        """
+        if n <= 0:
+            return []
+        counts: dict[str, int] = {}
+        latest: dict[str, tuple[int, FeedbackRecord]] = {}
+        for i, rec in enumerate(self._records):
+            counts[rec.fingerprint] = counts.get(rec.fingerprint, 0) + 1
+            if rec.plan is not None:
+                latest[rec.fingerprint] = (i, rec)
+        ranked = sorted(latest, key=lambda fp: (-counts[fp], -latest[fp][0]))
+        out = []
+        for fp in ranked[:n]:
+            rec = latest[fp][1]
+            env = rec.env_features if rec.env_features is not None else default_env
+            out.append((rec.plan, env))
+        return out
+
     # -- persistence ---------------------------------------------------------
 
     @classmethod

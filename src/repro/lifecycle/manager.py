@@ -47,6 +47,7 @@ class ModelLifecycle:
         drift: DriftMonitor | DriftConfig | None = None,
         canary: CanaryController | CanaryConfig | None = None,
         service_kwargs: dict | None = None,
+        warm_top_k: int = 32,
     ) -> None:
         self._tmpdir = None
         if registry is None:
@@ -61,6 +62,9 @@ class ModelLifecycle:
         self.drift_monitor = drift if isinstance(drift, DriftMonitor) else DriftMonitor(drift)
         self.canary = canary if isinstance(canary, CanaryController) else CanaryController(canary)
         self._service_kwargs = service_kwargs or {}
+        #: How many of the feedback log's hottest plans to re-score right
+        #: after a hot swap (0 disables the post-promote warming pass).
+        self.warm_top_k = warm_top_k
         self._predictor = None
         self._service = None
         #: Gateways fronting this lifecycle's service (see
@@ -107,7 +111,17 @@ class ModelLifecycle:
             for gateway in self._gateways:
                 gateway.attach_service(self._service)
         else:
-            self._service.swap_predictor(predictor)
+            # Hot swap, warming both cache tiers with the feedback log's
+            # hottest recurring plans so the promote's first requests for
+            # fleet-hot shapes are served warm instead of as a cold burst.
+            warm = (
+                self.feedback.hottest_plans(
+                    self.warm_top_k, default_env=environment_features
+                )
+                if self.warm_top_k > 0
+                else None
+            )
+            self._service.swap_predictor(predictor, warm=warm or None)
             self._predictor = predictor
             for gateway in self._gateways:
                 gateway.notify_swap()

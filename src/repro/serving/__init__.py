@@ -7,6 +7,7 @@ measured speedups.
 
 from repro.serving.cache import EncodingCache, LRUCache, PredictionCache
 from repro.serving.fingerprint import plan_fingerprint
+from repro.serving.quantize import QuantizedMatrix, quantize_matrix, split_conv_weight
 from repro.serving.service import CostInferenceService, ServingStats
 
 __all__ = [
@@ -16,4 +17,7 @@ __all__ = [
     "PredictionCache",
     "LRUCache",
     "plan_fingerprint",
+    "QuantizedMatrix",
+    "quantize_matrix",
+    "split_conv_weight",
 ]

@@ -32,7 +32,7 @@ from repro.warehouse.operators import (
 )
 from repro.warehouse.plan import PhysicalPlan
 
-__all__ = ["plan_fingerprint"]
+__all__ = ["plan_fingerprint", "plan_nodes"]
 
 
 def _node_key(node: PlanNode) -> tuple:
@@ -73,6 +73,23 @@ def plan_fingerprint(plan: PhysicalPlan) -> tuple:
     cached = plan.__dict__.get("_serving_fingerprint")
     if cached is not None:
         return cached
-    fingerprint = tuple(_node_key(node) for node in plan.iter_nodes())
+    fingerprint = tuple(_node_key(node) for node in plan_nodes(plan))
     plan.__dict__["_serving_fingerprint"] = fingerprint
     return fingerprint
+
+
+def plan_nodes(plan: PhysicalPlan) -> tuple:
+    """The plan's pre-order node tuple, memoized on the plan instance.
+
+    The recursive ``iter_nodes`` walk is pure per-call overhead once the
+    per-node feature rows are themselves memoized (see
+    ``PlanEncoder.encode_plan``'s ``node_keys``).  Same safety argument as
+    the fingerprint memo above: tree *structure* never changes after plan
+    generation, and ``clone()`` drops the memo with the instance dict.
+    """
+    cached = plan.__dict__.get("_serving_nodes")
+    if cached is not None:
+        return cached
+    nodes = tuple(plan.iter_nodes())
+    plan.__dict__["_serving_nodes"] = nodes
+    return nodes

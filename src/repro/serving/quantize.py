@@ -1,0 +1,127 @@
+"""Weight quantization for the cold-path packed forward.
+
+The serving forward is memory-bound at cold-path batch sizes: every conv
+layer streams a ``(3·d_in, d_out)`` float32 weight matrix through the
+cache per bucket.  Quantizing the snapshot to float16 or int8 halves or
+quarters that traffic (and the registry-shipping footprint of a fleet
+promote) at the price of bounded weight round-off — which is why the
+quantized path only ever serves behind an rtol *gate*: at snapshot-build
+time the packed-quantized forward is compared against the float32
+reference on a deterministic calibration batch, and a failing gate falls
+back bitwise to the reference weights (see ``_WeightSnapshot`` in
+:mod:`repro.serving.service`).
+
+Two storage modes:
+
+* ``"float16"`` (default) — plain half-precision rounding, ~5e-4 relative
+  weight error, no scales needed;
+* ``"int8"`` — symmetric per-channel affine: one scale per *output*
+  channel (``scale_c = max|w[:, c]| / 127``), so a channel with small
+  weights is not crushed by a channel with large ones.
+
+Both modes keep a float32 *compute copy* (numpy's half/int GEMMs are
+slower than sgemm, so the win is storage/traffic plus the packing layout,
+not the arithmetic dtype), dequantized once per ``weights_version``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QUANTIZE_MODES",
+    "QuantizedMatrix",
+    "quantize_matrix",
+    "split_conv_weight",
+]
+
+QUANTIZE_MODES = ("float16", "int8")
+
+#: int8 symmetric range: [-127, 127] (-128 unused, keeps the scale symmetric).
+_INT8_MAX = 127.0
+
+
+@dataclass(frozen=True)
+class QuantizedMatrix:
+    """One weight matrix in quantized storage plus its float32 compute copy.
+
+    ``stored`` is the low-precision array (float16, or int8 with
+    ``scales``); ``compute`` is the dequantized float32 (or serving-dtype)
+    array the forward actually multiplies with.  ``compute`` is exactly
+    ``dequantize(stored)``, so predictions reflect the quantization error
+    the gate measured — there is no hidden full-precision path.
+    """
+
+    mode: str
+    stored: np.ndarray
+    scales: np.ndarray | None  # (1, d_out) for int8, None for float16
+    compute: np.ndarray
+
+    @property
+    def stored_nbytes(self) -> int:
+        scales = self.scales.nbytes if self.scales is not None else 0
+        return self.stored.nbytes + scales
+
+    def max_weight_rel_err(self, reference: np.ndarray) -> float:
+        """Worst relative round-off the quantization introduced, measured
+        against the matrix norm (per-element relative error is meaningless
+        for near-zero weights)."""
+        denom = float(np.max(np.abs(reference)))
+        if denom == 0.0:
+            return 0.0
+        return float(np.max(np.abs(self.compute.astype(np.float64) - reference))) / denom
+
+
+def quantize_matrix(
+    weight: np.ndarray, mode: str = "float16", *, compute_dtype=np.float32
+) -> QuantizedMatrix:
+    """Quantize one ``(d_in, d_out)`` weight matrix.
+
+    int8 uses symmetric per-output-channel scales; a dead channel (all
+    zeros) gets scale 1.0 so dequantization stays exact.  Non-finite
+    weights are quantized as-is (float16 keeps inf/nan; int8 saturates
+    through the scale) — the downstream rtol gate is what rejects them.
+    """
+    if mode not in QUANTIZE_MODES:
+        raise ValueError(f"unknown quantize mode {mode!r}; expected one of {QUANTIZE_MODES}")
+    weight = np.asarray(weight, dtype=np.float64)
+    if mode == "float16":
+        # Out-of-range weights overflow to inf here by design; the gate's
+        # isfinite check is the rejection path, so the cast warning is noise.
+        with np.errstate(over="ignore"):
+            stored = weight.astype(np.float16)
+        compute = np.ascontiguousarray(stored, dtype=compute_dtype)
+        return QuantizedMatrix(mode=mode, stored=stored, scales=None, compute=compute)
+
+    peak = np.max(np.abs(weight), axis=0, keepdims=True)  # (1, d_out)
+    with np.errstate(invalid="ignore"):
+        scales = np.where(peak > 0.0, peak / _INT8_MAX, 1.0)
+    with np.errstate(invalid="ignore"):
+        q = np.rint(weight / scales)
+    q = np.clip(np.nan_to_num(q, nan=0.0, posinf=_INT8_MAX, neginf=-_INT8_MAX),
+                -_INT8_MAX, _INT8_MAX).astype(np.int8)
+    compute = np.ascontiguousarray(q.astype(compute_dtype) * scales.astype(compute_dtype))
+    return QuantizedMatrix(mode=mode, stored=q, scales=scales, compute=compute)
+
+
+def split_conv_weight(weight: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split a tree-conv weight ``(3·d_in, d_out)`` into contiguous
+    (self, left, right) blocks.
+
+    The training layout concatenates ``(x, x[left], x[right])`` features
+    before one GEMM; the packed forward instead computes
+    ``x@W_self + x_left@W_left + x_right@W_right``, which drops the
+    per-layer ``(batch, nodes, 3·d_in)`` concatenation allocation — the
+    dominant cold-path forward cost at candidate-set batch sizes.
+    """
+    rows = weight.shape[0]
+    if rows % 3 != 0:
+        raise ValueError(f"tree-conv weight rows must be divisible by 3, got {rows}")
+    d = rows // 3
+    return (
+        np.ascontiguousarray(weight[:d]),
+        np.ascontiguousarray(weight[d : 2 * d]),
+        np.ascontiguousarray(weight[2 * d :]),
+    )

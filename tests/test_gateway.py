@@ -689,6 +689,21 @@ class TestGatewayLearnedReal:
                     assert f"serving_{tier}_{counter}" in gauges
             assert gauges["serving_prediction_cache_hits"] >= 1
             assert gauges["serving_encoding_cache_misses"] >= 6
+            # Cold-path attribution split rides the same export: the first
+            # request was a full cold encode + forward, so both timers ran.
+            for gauge in (
+                "serving_encode_seconds",
+                "serving_forward_seconds",
+                "serving_quantize_seconds",
+                "serving_parallel_encode_batches",
+                "serving_warmed_plans",
+                "serving_quantized_active",
+                "serving_quantize_gate_rel_err",
+            ):
+                assert gauge in gauges
+            assert gauges["serving_encode_seconds"] > 0.0
+            assert gauges["serving_forward_seconds"] > 0.0
+            assert gauges["serving_quantized_active"] == 0.0  # no quantize=
 
     def test_close_is_idempotent_and_answers_late_callers(self, trained):
         predictor, plans = trained

@@ -193,6 +193,27 @@ class TestFeedbackLog:
         reloaded.record(plans[10], costs[10], costs[10])
         assert len(FeedbackLog.load(path)) == 11
 
+    def test_hottest_plans_ranked_by_frequency(self, pool):
+        _, plans, costs = pool
+        log = FeedbackLog()
+        for _ in range(3):
+            log.record(plans[1], costs[1], costs[1], env_features=(0.9, 0.1, 0.2, 0.3))
+        for _ in range(2):
+            log.record(plans[0], costs[0], costs[0], env_features=ENV)
+        log.record(plans[2], costs[2], costs[2])  # no env recorded
+        hottest = log.hottest_plans(2, default_env=ENV)
+        assert [p for p, _ in hottest] == [plans[1], plans[0]]
+        assert hottest[0][1] == (0.9, 0.1, 0.2, 0.3)
+        # default_env fills records that carried no environment.
+        all_three = log.hottest_plans(5, default_env=ENV)
+        assert (plans[2], ENV) in all_three
+        assert log.hottest_plans(0) == []
+
+    def test_hottest_plans_skips_planless_records(self):
+        log = FeedbackLog()
+        log.append(_synthetic_record(1, 10.0, 10.0, ENV))  # reloaded: plan=None
+        assert log.hottest_plans(4) == []
+
 
 # -- drift monitor ----------------------------------------------------------------
 
@@ -343,9 +364,14 @@ class TestLifecycleEndToEnd:
         assert lifecycle.predictor is predictor
         assert predictor.weights_version > old_weights_version
         assert entry.weights_version == predictor.weights_version
-        # ...and both serving-cache tiers were invalidated by the hot swap.
-        assert len(lifecycle.service.prediction_cache) == 0
-        assert len(lifecycle.service.encoding_cache) == 0
+        # ...and both serving-cache tiers were invalidated by the hot swap,
+        # then re-warmed with the feedback log's hottest plans scored under
+        # the *new* model (so nothing stale from the incumbent survives and
+        # the cache holds at most the warming set).
+        stats = lifecycle.service.stats()
+        assert 0 < stats.warmed_plans <= lifecycle.warm_top_k
+        assert 0 < len(lifecycle.service.prediction_cache) <= stats.warmed_plans
+        assert 0 < len(lifecycle.service.encoding_cache) <= stats.warmed_plans
 
         # Post-swap predictions match a fresh service built from the new
         # checkpoint exactly.
@@ -353,6 +379,51 @@ class TestLifecycleEndToEnd:
         reloaded, env = lifecycle.registry.load(entry.version)
         fresh = CostInferenceService(reloaded).predict(plans[:10], env_features=env)
         assert np.array_equal(swapped, fresh)
+
+    def test_promote_serves_hottest_plans_warm(self, pool, tmp_path):
+        """The first post-promote request for the feedback log's hottest
+        plan must be a prediction-cache hit (no cold burst after a swap)."""
+        predictor, plans, costs = pool
+        weak = _perturbed(predictor, tmp_path, sigma=0.8, seed=7)
+        lifecycle = ModelLifecycle(
+            tmp_path / "warm",
+            canary=CanaryConfig(holdout_fraction=0.3, min_holdout=4),
+            warm_top_k=8,
+        )
+        lifecycle.bootstrap(weak, environment_features=ENV)
+        hot = plans[0]
+        for _ in range(3):  # make one plan clearly hottest
+            lifecycle.observe(hot, costs[0], env_features=ENV)
+        for plan, cost in zip(plans[1:20], costs[1:20]):
+            lifecycle.observe(plan, cost, env_features=ENV)
+
+        report, entry = lifecycle.submit_candidate(predictor, environment_features=ENV)
+        assert report.decision == "promote"
+        service = lifecycle.service
+        service.reset_stats()
+        got = service.predict([hot], env_features=ENV)
+        stats = service.stats()
+        assert stats.prediction_hits == 1
+        assert stats.prediction_misses == 0
+        # ...and the warm value is the new model's prediction, not a stale one.
+        fresh = CostInferenceService(predictor).predict([hot], env_features=ENV)
+        np.testing.assert_array_equal(got, fresh)
+
+    def test_warm_top_k_zero_disables_warming(self, pool, tmp_path):
+        predictor, plans, costs = pool
+        weak = _perturbed(predictor, tmp_path, sigma=0.8, seed=7)
+        lifecycle = ModelLifecycle(
+            tmp_path / "nowarm",
+            canary=CanaryConfig(holdout_fraction=0.3, min_holdout=4),
+            warm_top_k=0,
+        )
+        lifecycle.bootstrap(weak, environment_features=ENV)
+        for plan, cost in zip(plans, costs):
+            lifecycle.observe(plan, cost, env_features=ENV)
+        report, _ = lifecycle.submit_candidate(predictor, environment_features=ENV)
+        assert report.decision == "promote"
+        assert lifecycle.service.stats().warmed_plans == 0
+        assert len(lifecycle.service.prediction_cache) == 0
 
     def test_rollback_restores_previous_version_exactly(self, pool, tmp_path):
         predictor, plans, costs = pool

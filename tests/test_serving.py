@@ -74,7 +74,9 @@ class TestEnvSpliceEquivalence:
         misses = service.encoding_cache.misses
         service.predict(plans[:5], env_features=(0.1, 0.2, 0.3, 0.4))
         assert service.encoding_cache.misses == misses  # no re-encoding
-        assert service.encoding_cache.hits >= 5
+        # The assembled-bucket fast path serves the repeat structural batch
+        # without even probing the per-plan encoding cache.
+        assert service.encoding_cache.hits == 0
 
     def test_logged_env_read_fresh_after_mutation(self, trained):
         """env_features=None must reflect *current* node.env annotations even
@@ -381,3 +383,329 @@ class TestSwapPredictor:
         service = CostInferenceService(predictor)
         with pytest.raises(ValueError, match="encoder-compatible"):
             service.swap_predictor(other)
+
+
+# -- cold-path acceleration (quantized packed forward, parallel encode, warming) --
+
+
+COLD_ENV = (0.5, 0.05, 0.5, 0.5)
+
+
+def _fit_second_predictor(project_with_history, scale=40.0):
+    records = project_with_history.repository.records[:80]
+    plans = [r.plan for r in records]
+    costs = [r.cpu_cost * scale for r in records]
+    other = AdaptiveCostPredictor(config=TINY)
+    other.fit(plans, costs)
+    return other
+
+
+class TestEncodeMemo:
+    def test_node_keys_encoding_bitwise_equals_reference(self, trained):
+        _, plans = trained
+        encoder = PlanEncoder()
+        for plan in plans[:10]:
+            fingerprint = plan_fingerprint(plan)
+            # First pass exercises the memo-miss path, second the all-hit
+            # fast path (rows + child arrays reassembled from the memo).
+            for _ in range(2):
+                for env in (None, (0.25, 0.5, 0.75, 1.0)):
+                    fast = encoder.encode_plan(
+                        plan, env_override=env, node_keys=fingerprint
+                    )
+                    ref = encoder.encode_plan_reference(plan, env_override=env)
+                    assert (fast.features == ref.features).all()
+                    assert (fast.left == ref.left).all()
+                    assert (fast.right == ref.right).all()
+
+    def test_memoized_arrays_are_not_aliased(self, trained):
+        _, plans = trained
+        encoder = PlanEncoder()
+        fingerprint = plan_fingerprint(plans[0])
+        first = encoder.encode_plan(plans[0], env_override=COLD_ENV, node_keys=fingerprint)
+        first.features.fill(-1.0)
+        first.left.fill(99)
+        second = encoder.encode_plan(plans[0], env_override=COLD_ENV, node_keys=fingerprint)
+        ref = encoder.encode_plan_reference(plans[0], env_override=COLD_ENV)
+        assert (second.features == ref.features).all()
+        assert (second.left == ref.left).all()
+
+    def test_wrong_node_keys_length_rejected(self, trained):
+        _, plans = trained
+        encoder = PlanEncoder()
+        with pytest.raises(ValueError, match="node_keys length"):
+            encoder.encode_plan(plans[0], node_keys=())
+
+
+class TestQuantizedForward:
+    def test_float16_gate_passes_and_matches_reference(self, trained):
+        predictor, plans = trained
+        reference = CostInferenceService(predictor)
+        service = CostInferenceService(predictor, quantize="float16")
+        want = reference.predict(plans[:20], env_features=COLD_ENV)
+        got = service.predict(plans[:20], env_features=COLD_ENV)
+        stats = service.stats()
+        assert stats.quantized_active
+        assert 0.0 < stats.quantize_gate_rel_err <= 1e-3
+        np.testing.assert_allclose(got, want, rtol=1e-3)
+
+    def test_quantize_true_selects_float16(self, trained):
+        predictor, _ = trained
+        assert CostInferenceService(predictor, quantize=True).quantize_mode == "float16"
+        assert CostInferenceService(predictor, quantize=False).quantize_mode is None
+
+    def test_int8_gate_decides_activation(self, trained):
+        predictor, plans = trained
+        # Loose gate: int8 activates and stays within its own tolerance.
+        loose = CostInferenceService(predictor, quantize="int8", quantize_rtol=5e-2)
+        reference = CostInferenceService(predictor)
+        want = reference.predict(plans[:20], env_features=COLD_ENV)
+        got = loose.predict(plans[:20], env_features=COLD_ENV)
+        assert loose.stats().quantized_active
+        np.testing.assert_allclose(got, want, rtol=5e-2)
+
+    def test_strict_gate_falls_back_bitwise(self, trained):
+        predictor, plans = trained
+        # A gate no quantization can pass: the service must serve the
+        # float32 reference weights, bitwise equal to an unquantized service.
+        strict = CostInferenceService(predictor, quantize="float16", quantize_rtol=1e-12)
+        reference = CostInferenceService(predictor)
+        got = strict.predict(plans[:20], env_features=COLD_ENV)
+        want = reference.predict(plans[:20], env_features=COLD_ENV)
+        stats = strict.stats()
+        assert not stats.quantized_active
+        assert stats.quantize_gate_rel_err > 1e-12
+        np.testing.assert_array_equal(got, want)
+
+    def test_corrupted_weights_fail_gate_and_fall_back(self, trained, project_with_history):
+        _, plans = trained
+        corrupted = _fit_second_predictor(project_with_history)
+        # An outlier beyond float16 range becomes inf in quantized storage;
+        # the calibration forward goes non-finite and the gate must reject.
+        corrupted.module.plan_emb.conv_layers[0].weight.data[0, 0] = 1e9
+        quantized = CostInferenceService(corrupted, quantize="float16")
+        plain = CostInferenceService(corrupted)
+        got = quantized.predict(plans[:12], env_features=COLD_ENV)
+        want = plain.predict(plans[:12], env_features=COLD_ENV)
+        assert not quantized.stats().quantized_active
+        np.testing.assert_array_equal(got, want)
+        assert np.all(np.isfinite(got))
+
+    def test_quantize_matrix_roundtrip_and_split(self):
+        from repro.serving import quantize_matrix, split_conv_weight
+
+        rng = np.random.default_rng(7)
+        weight = rng.normal(scale=0.3, size=(24, 6))
+        weight[:, 2] *= 50.0  # a hot channel must not crush the others
+        half = quantize_matrix(weight, "float16")
+        assert half.stored.dtype == np.float16
+        assert half.max_weight_rel_err(weight) < 1e-3
+        q8 = quantize_matrix(weight, "int8")
+        assert q8.stored.dtype == np.int8
+        assert q8.scales.shape == (1, 6)
+        np.testing.assert_allclose(
+            q8.compute, q8.stored.astype(np.float32) * q8.scales.astype(np.float32)
+        )
+        assert q8.max_weight_rel_err(weight) < 1e-2
+        assert q8.stored_nbytes < half.stored_nbytes < weight.nbytes
+        with pytest.raises(ValueError, match="unknown quantize mode"):
+            quantize_matrix(weight, "int4")
+        w_self, w_left, w_right = split_conv_weight(weight)
+        np.testing.assert_array_equal(np.vstack((w_self, w_left, w_right)), weight)
+        with pytest.raises(ValueError, match="divisible by 3"):
+            split_conv_weight(weight[:23])
+
+
+class TestParallelEncode:
+    def test_parallel_encode_bitwise_equals_serial(self, trained):
+        predictor, plans = trained
+        serial = CostInferenceService(predictor)
+        parallel = CostInferenceService(
+            predictor, parallel_encode_threshold=1, encode_processes=2
+        )
+        want = serial.predict(plans[:40], env_features=COLD_ENV)
+        got = parallel.predict(plans[:40], env_features=COLD_ENV)
+        np.testing.assert_array_equal(got, want)
+        assert parallel.stats().parallel_encode_batches >= 1
+        # The fork pool repopulated the parent's encoding cache.
+        assert len(parallel.encoding_cache) == len(serial.encoding_cache)
+        # A repeat request is all cache hits — no second fan-out.
+        batches_before = parallel.stats().parallel_encode_batches
+        parallel.clear_caches()  # keep the prediction tier out of the way
+        parallel.predict(plans[:40], env_features=COLD_ENV)
+        assert parallel.stats().parallel_encode_batches == batches_before + 1
+
+    def test_small_requests_stay_serial(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(
+            predictor, parallel_encode_threshold=64, encode_processes=2
+        )
+        service.predict(plans[:8], env_features=COLD_ENV)
+        assert service.stats().parallel_encode_batches == 0
+
+
+class TestWarming:
+    def test_warm_caches_populates_both_tiers(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(predictor)
+        warmed = service.warm_caches((p, COLD_ENV) for p in plans[:10])
+        assert warmed == 10
+        assert len(service.encoding_cache) > 0
+        assert len(service.prediction_cache) > 0
+        assert service.stats().warmed_plans == 10
+        service.reset_stats()
+        service.predict(plans[:10], env_features=COLD_ENV)
+        stats = service.stats()
+        assert stats.prediction_hits == 10
+        assert stats.prediction_misses == 0
+
+    def test_warm_without_env_fills_encoding_tier_only(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(predictor)
+        service.warm_caches([(plans[0], None)])
+        assert len(service.encoding_cache) > 0
+        assert len(service.prediction_cache) == 0  # no env key to cache under
+
+    def test_swap_with_warm_serves_first_batch_from_cache(self, trained, project_with_history):
+        predictor, plans = trained
+        replacement = _fit_second_predictor(project_with_history)
+        service = CostInferenceService(predictor)
+        service.predict(plans[:8], env_features=COLD_ENV)
+        service.swap_predictor(
+            replacement, warm=[(p, COLD_ENV) for p in plans[:8]]
+        )
+        service.reset_stats()
+        got = service.predict(plans[:8], env_features=COLD_ENV)
+        stats = service.stats()
+        assert stats.prediction_hits == 8
+        assert stats.prediction_misses == 0
+        # Warmed values come from the *new* model.
+        fresh = CostInferenceService(replacement).predict(plans[:8], env_features=COLD_ENV)
+        np.testing.assert_array_equal(got, fresh)
+
+
+class TestColdPathStats:
+    def test_timing_attribution_accumulates(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(predictor, quantize="float16")
+        service.predict(plans[:10], env_features=COLD_ENV)
+        stats = service.stats()
+        assert stats.encode_seconds > 0.0
+        assert stats.forward_seconds > 0.0
+        assert stats.quantize_seconds > 0.0
+        as_dict = stats.as_dict()
+        for key in (
+            "encode_seconds",
+            "forward_seconds",
+            "quantize_seconds",
+            "parallel_encode_batches",
+            "warmed_plans",
+            "quantized_active",
+            "quantize_gate_rel_err",
+        ):
+            assert key in as_dict
+
+    def test_cache_counters_export_cold_path_gauges(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(predictor)
+        service.predict(plans[:5], env_features=COLD_ENV)
+        counters = service.cache_counters()
+        for key in (
+            "encode_seconds",
+            "forward_seconds",
+            "quantize_seconds",
+            "parallel_encode_batches",
+            "warmed_plans",
+            "quantized_active",
+            "quantize_gate_rel_err",
+        ):
+            assert key in counters
+        assert counters["quantized_active"] == 0.0
+        assert counters["encode_seconds"] > 0.0
+
+
+# -- (h) strategy-sweep requests -------------------------------------------------
+
+SWEEP_ENVS = (
+    (0.5, 0.05, 0.5, 0.5),
+    (0.62, 0.03, 0.41, 0.55),
+    (0.31, 0.12, 0.77, 0.69),
+    (0.0, 0.0, 0.0, 0.0),
+)
+
+
+class TestPredictSweep:
+    def test_sweep_matches_per_request_predictions(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(predictor)
+        reference = CostInferenceService(predictor)
+        swept = service.predict_sweep(plans[:4], SWEEP_ENVS)
+        assert swept.shape == (len(SWEEP_ENVS), 4)
+        for e, env in enumerate(SWEEP_ENVS):
+            want = reference.predict(plans[:4], env_features=env)
+            # The sweep batches every environment into one forward, so its
+            # float32 accumulation order differs from a per-request batch;
+            # the serving-dtype z snap keeps the residual at ulp scale.
+            np.testing.assert_allclose(swept[e], want, rtol=1e-5)
+
+    def test_sweep_fills_prediction_cache(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(predictor)
+        swept = service.predict_sweep(plans[:4], SWEEP_ENVS)
+        hits_before = service.prediction_cache.hits
+        for e, env in enumerate(SWEEP_ENVS):
+            warm = service.predict(plans[:4], env_features=env)
+            np.testing.assert_array_equal(warm, swept[e])
+        assert service.prediction_cache.hits >= hits_before + 4 * len(SWEEP_ENVS)
+        assert service.stats().batches == 1  # the sweep's single forward
+
+    def test_sweep_serves_warm_rows_from_cache(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(predictor)
+        misses_after_first = None
+        service.predict_sweep(plans[:3], SWEEP_ENVS)
+        misses_after_first = service.stats().prediction_misses
+        service.predict_sweep(plans[:3], SWEEP_ENVS)
+        assert service.stats().prediction_misses == misses_after_first
+
+    def test_wide_request_falls_back_to_per_request_path(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(predictor, small_request_threshold=2)
+        reference = CostInferenceService(predictor)
+        wide = plans[:6]  # > threshold -> per-environment fallback loop
+        swept = service.predict_sweep(wide, SWEEP_ENVS)
+        for e, env in enumerate(SWEEP_ENVS):
+            np.testing.assert_allclose(
+                swept[e], reference.predict(wide, env_features=env), rtol=1e-5
+            )
+
+    def test_quantized_sweep_within_gate_tolerance(self, trained):
+        predictor, plans = trained
+        quantized = CostInferenceService(predictor, quantize="float16")
+        reference = CostInferenceService(predictor)
+        swept = quantized.predict_sweep(plans[:4], SWEEP_ENVS)
+        assert quantized.stats().quantized_active
+        for e, env in enumerate(SWEEP_ENVS):
+            np.testing.assert_allclose(
+                swept[e], reference.predict(plans[:4], env_features=env), rtol=1e-3
+            )
+
+    def test_sweep_after_swap_uses_new_weights(self, trained, project_with_history):
+        predictor, plans = trained
+        service = CostInferenceService(predictor)
+        before = service.predict_sweep(plans[:4], SWEEP_ENVS)
+        replacement = _fit_second_predictor(project_with_history)
+        service.swap_predictor(replacement)
+        after = service.predict_sweep(plans[:4], SWEEP_ENVS)
+        reference = CostInferenceService(replacement)
+        assert not np.allclose(before, after)
+        for e, env in enumerate(SWEEP_ENVS):
+            np.testing.assert_allclose(
+                after[e], reference.predict(plans[:4], env_features=env), rtol=1e-5
+            )
+
+    def test_empty_sweep_shapes(self, trained):
+        predictor, plans = trained
+        service = CostInferenceService(predictor)
+        assert service.predict_sweep([], SWEEP_ENVS).shape == (len(SWEEP_ENVS), 0)
+        assert service.predict_sweep(plans[:2], []).shape == (0, 2)

@@ -8,10 +8,13 @@
 # throughput benchmark (BENCH_training.json: fit seconds, epoch seconds,
 # steps/sec, fast-vs-reference speedup), the gateway front-end benchmark
 # (BENCH_gateway.json: concurrent throughput, p50/p99 request latency,
-# chaos-phase fallback rate and breaker trips, overload shed rate), and
-# the fig11 adaptive-training scenario routed through the model lifecycle
+# chaos-phase fallback rate and breaker trips, overload shed rate), the
+# sharded fleet benchmark (BENCH_fleet.json: multi-process throughput vs
+# the single-gateway baseline, per-shard latency/hit rates, staged
+# promote convergence, worker-crash containment), and the fig11
+# adaptive-training scenario routed through the model lifecycle
 # subsystem (registry + feedback + drift + canary), so successive PRs can
-# track all four trajectories.
+# track all five trajectories.
 #
 # Usage:
 #   benchmarks/run_bench.sh                  # artifacts -> benchmarks/BENCH_*.json
@@ -26,6 +29,7 @@ export PYTHONPATH="${REPO_ROOT}/src${PYTHONPATH:+:${PYTHONPATH}}"
 export BENCH_SERVING_OUT="${BENCH_SERVING_OUT:-${REPO_ROOT}/benchmarks/BENCH_serving.json}"
 export BENCH_TRAINING_OUT="${BENCH_TRAINING_OUT:-${REPO_ROOT}/benchmarks/BENCH_training.json}"
 export BENCH_GATEWAY_OUT="${BENCH_GATEWAY_OUT:-${REPO_ROOT}/benchmarks/BENCH_gateway.json}"
+export BENCH_FLEET_OUT="${BENCH_FLEET_OUT:-${REPO_ROOT}/benchmarks/BENCH_fleet.json}"
 
 echo "== tier-1 tests (REPRO_SCALE=${REPRO_SCALE}) =="
 python -m pytest "${REPO_ROOT}/tests" -x -q
@@ -45,6 +49,14 @@ echo "== gateway front-end benchmark =="
 echo
 echo "== gateway guardrail smoke (induced failure -> fallback -> recovery) =="
 python -m repro gateway
+
+echo
+echo "== fleet throughput benchmark =="
+(cd "${REPO_ROOT}/benchmarks" && python -m pytest bench_fleet_throughput.py -q -s)
+
+echo
+echo "== fleet self-check (shards, promote, crash remap) =="
+python -m repro fleet
 
 echo
 echo "== fig11 adaptive training through the model lifecycle =="
@@ -97,5 +109,21 @@ print(
     f"chaos fallback {artifact['chaos']['fallback_rate']:.0%} with "
     f"{artifact['chaos']['breaker_trips']:.0f} breaker trip(s), "
     f"shed {artifact['shed']['shed']:.0f}/{artifact['shed']['requests']}"
+)
+EOF
+echo "${BENCH_FLEET_OUT}"
+python - "${BENCH_FLEET_OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    artifact = json.load(fh)
+print(
+    f"fleet x{artifact['n_workers']} {artifact['fleet']['plans_per_sec']:,.0f} plans/s "
+    f"({artifact['fleet_vs_baseline']:.2f}x baseline, floor "
+    f"{artifact['speedup_floor']:.2f}x on {artifact['cpu_count']} core(s)), "
+    f"pred hits fleet {artifact['fleet']['prediction_hit_rate']:.1%} vs "
+    f"baseline {artifact['baseline']['prediction_hit_rate']:.1%}; promote "
+    f"converged {artifact['promote']['workers']} workers with "
+    f"{artifact['promote']['post_promote_cold_misses']:.0f} cold misses; chaos "
+    f"{artifact['chaos']['workers_alive']}/{artifact['n_workers']} serving after crash"
 )
 EOF

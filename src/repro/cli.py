@@ -6,7 +6,15 @@ Commands
 ``variance``  print the recurring-cost variance study (challenge C1);
 ``explain``   compile a SQL statement against a generated project and print
               the default plan plus every steered candidate;
-``fleet``     run Filter + Ranker over a generated fleet and print rankings;
+``fleet-select``  run Filter + Ranker over a generated fleet and print rankings;
+``fleet``     run the sharded serving-fleet round trip: forked gateway
+              workers behind the consistent-hash tenant router, learned
+              answers checked against a direct in-process service, a
+              staged checkpoint promote that must converge every shard,
+              and a worker crash that must shed only its own shard's
+              tenants and remap them to the survivors.  Exits non-zero
+              if any guardrail misbehaves (skips cleanly where ``fork``
+              is unavailable);
 ``lifecycle`` run the full model-lifecycle round trip on a generated
               project: train → register/bootstrap → feedback → drift →
               canary (an injected regressed candidate must be rejected,
@@ -50,8 +58,19 @@ def _build_parser() -> argparse.ArgumentParser:
     explain = sub.add_parser("explain", help="compile SQL and show steered candidates")
     explain.add_argument("sql", help="a MiniDW SELECT statement (see repro.warehouse.sql)")
 
-    fleet = sub.add_parser("fleet", help="project selection over a generated fleet")
-    fleet.add_argument("--projects", type=int, default=10)
+    fleet_select = sub.add_parser(
+        "fleet-select", help="project selection over a generated fleet"
+    )
+    fleet_select.add_argument("--projects", type=int, default=10)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="sharded serving-fleet round trip: shards/promote/crash-remap",
+    )
+    fleet.add_argument("--days", type=int, default=6, help="history days to simulate")
+    fleet.add_argument("--epochs", type=int, default=4)
+    fleet.add_argument("--workers", type=int, default=3, help="fleet shard processes")
+    fleet.add_argument("--tenants", type=int, default=24, help="distinct tenants routed")
 
     lifecycle = sub.add_parser(
         "lifecycle", help="model lifecycle round trip: registry/feedback/drift/canary"
@@ -166,7 +185,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
+def _cmd_fleet_select(args: argparse.Namespace) -> int:
     from repro.core.selector import FilterConfig, ProjectFilter
     from repro.warehouse.workload import generate_project, profile_population
 
@@ -465,6 +484,171 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Sharded serving-fleet smoke: forked shard workers must serve the
+    same learned answers as a direct in-process service, a staged promote
+    must converge every shard on one weights_version, and a worker crash
+    must shed only its own shard's tenants before they remap to the
+    survivors.  Suitable as a CI job; exits non-zero on any violation."""
+    import copy
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.explorer import PlanExplorer
+    from repro.core.loam import LOAM, LOAMConfig
+    from repro.core.predictor import PredictorConfig
+    from repro.core.serialization import save_predictor
+    from repro.evaluation.pool import fork_available
+    from repro.fleet import ServingFleet
+    from repro.serving.service import CostInferenceService
+    from repro.warehouse.workload import ProjectProfile, generate_project
+
+    if not fork_available():
+        print("fleet self-check skipped: platform has no fork start method")
+        return 0
+
+    failures: list[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(("  ok   " if ok else "  FAIL ") + what)
+        if not ok:
+            failures.append(what)
+
+    profile = ProjectProfile(
+        name="cli-fleet", seed=args.seed, n_tables=12, n_templates=10,
+        stats_availability=0.2, row_scale=3e5, n_machines=60,
+    )
+    print(f"Simulating {args.days} days of history on {profile.name!r}...")
+    workload = generate_project(profile)
+    workload.simulate_history(args.days, max_queries_per_day=30)
+    loam = LOAM(
+        workload,
+        LOAMConfig(
+            max_training_queries=400,
+            candidate_alignment_queries=20,
+            predictor=PredictorConfig(epochs=args.epochs),
+        ),
+    )
+    loam.train(first_day=0, last_day=args.days - 2)
+    env = loam.environment.features()
+
+    explorer = PlanExplorer(workload.optimizer)
+    candidate_sets = []
+    for day in range(args.days):
+        plans = explorer.candidates(workload.sample_query(day), top_k=5)
+        if plans:
+            candidate_sets.append(plans)
+    tenants = [f"tenant-{i}" for i in range(args.tenants)]
+
+    with tempfile.TemporaryDirectory(prefix="loam-fleet-cli-") as tmp:
+        checkpoint = Path(tmp) / "model-v1.npz"
+        save_predictor(loam.predictor, checkpoint, environment_features=env)
+        direct = CostInferenceService.from_checkpoint(checkpoint)
+
+        print(f"\n[1] boot {args.workers} shard workers from the checkpoint")
+        with ServingFleet(
+            checkpoint, n_workers=args.workers, base_seed=args.seed
+        ) as fleet:
+            seeds = fleet.ping()
+            check(len(seeds) == args.workers, f"all {args.workers} workers answer ping")
+            check(len(set(seeds.values())) == len(seeds), "per-worker seeds distinct")
+
+            print("\n[2] routed traffic: learned answers match the direct service")
+            results = {}
+            for i, tenant in enumerate(tenants):
+                cs = i % len(candidate_sets)
+                results[tenant] = (
+                    fleet.predict(
+                        tenant, candidate_sets[cs],
+                        env_features=env, plans_key=f"cs-{cs}",
+                    ),
+                    cs,
+                )
+            check(all(r.source == "learned" for r, _ in results.values()),
+                  "every tenant served a learned answer")
+            check(
+                all(
+                    bool(np.allclose(
+                        r.costs,
+                        direct.predict(candidate_sets[cs], env_features=env),
+                        rtol=1e-5,
+                    ))
+                    for r, cs in results.values()
+                ),
+                "fleet predictions match direct service (rtol 1e-5)",
+            )
+            owners = fleet.router.assignment(tenants)
+            spread = {owners[t] for t in tenants}
+            check(len(spread) > 1, f"tenants spread over {len(spread)} shards")
+
+            print("\n[3] staged promote converges every shard, caches pre-warmed")
+            candidate = copy.deepcopy(loam.predictor)
+            candidate.weights_version = (
+                getattr(loam.predictor, "weights_version", 0) + 1
+            )
+            checkpoint2 = Path(tmp) / "model-v2.npz"
+            save_predictor(candidate, checkpoint2, environment_features=env)
+            warm = [(plan, env) for plan in candidate_sets[0]]
+            acked = fleet.promote(checkpoint2, warm=warm)
+            check(len(acked) == args.workers, "every live worker acked the promote")
+            check(len(set(acked.values())) == 1
+                  and next(iter(acked.values())) == candidate.weights_version,
+                  f"fleet converged on weights_version {candidate.weights_version}")
+            post = fleet.predict(
+                tenants[0], candidate_sets[0], env_features=env, plans_key="cs-0"
+            )
+            check(post.source == "learned"
+                  and post.model_version == candidate.weights_version,
+                  "post-promote answers serve the new version")
+
+            print("\n[4] worker crash: shed one shard, remap, keep serving")
+            victim = owners[tenants[0]]
+            fleet.crash_worker(victim)
+            victims = [t for t in tenants if owners[t] == victim]
+            shed = fleet.predict(
+                victims[0],
+                candidate_sets[results[victims[0]][1]],
+                env_features=env,
+            )
+            check(shed.reason == "worker-crash" and np.isfinite(shed.costs).all(),
+                  "in-flight request on the dead shard shed to the fallback")
+            remapped = {
+                t: fleet.predict(
+                    t, candidate_sets[results[t][1]], env_features=env
+                )
+                for t in tenants
+            }
+            check(all(r.source == "learned" for r in remapped.values()),
+                  "all tenants (including remapped) served learned answers")
+            new_owners = fleet.router.assignment(tenants)
+            moved = {t for t in tenants if new_owners[t] != owners[t]}
+            check(moved == set(victims),
+                  f"exactly the dead shard's {len(victims)} tenant(s) remapped")
+            stats = fleet.stats()
+            check(stats["workers_alive"] == args.workers - 1,
+                  f"{args.workers - 1}/{args.workers} workers still serving")
+            fleet_counters = stats["fleet"]["counters"]
+            check(fleet_counters.get("worker_failures_total", 0.0) == 1.0,
+                  "crash visible in fleet telemetry (worker_failures_total)")
+
+            merged = stats["merged"]
+            print("\nMerged telemetry (excerpt):")
+            for name in ("requests_total", "learned_total", "fallback_total"):
+                print(f"  {name:<24} {merged['counters'].get(name, 0.0):.0f} "
+                      f"across {merged['shards']} shard(s)")
+            print("\nPrometheus exposition (first lines):")
+            for line in fleet.to_prometheus().splitlines()[:6]:
+                print(f"  {line}")
+
+    if failures:
+        print(f"\nERROR: {len(failures)} fleet check(s) failed:", file=sys.stderr)
+        for what in failures:
+            print(f"  - {what}", file=sys.stderr)
+        return 1
+    print("\nfleet round trip: all checks passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     np.random.seed(args.seed)  # legacy global, for any stray consumers
@@ -472,6 +656,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "variance": _cmd_variance,
         "explain": _cmd_explain,
+        "fleet-select": _cmd_fleet_select,
         "fleet": _cmd_fleet,
         "lifecycle": _cmd_lifecycle,
         "gateway": _cmd_gateway,

@@ -19,15 +19,25 @@ process pool with
   :class:`TaskFailure` carrying the remote traceback text and re-raised in
   the parent as :class:`ParallelEvaluationError` naming the failed task,
   instead of a bare ``Pool`` exception with no context.
+
+The worker bootstrap itself (BLAS pinning, seed derivation, traceback
+capture, fork probing) lives in :mod:`repro.evaluation.pool`, shared with
+the serving fleet's long-lived worker processes (:mod:`repro.fleet`).
 """
 
 from __future__ import annotations
 
-import hashlib
 import os
-import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+from repro.evaluation.pool import (
+    TaskFailure,
+    capture_failure,
+    derive_seed,
+    fork_available,
+    pin_blas_threads,
+)
 
 __all__ = [
     "EvalTask",
@@ -37,28 +47,6 @@ __all__ = [
     "resolve_processes",
     "run_tasks",
 ]
-
-#: Environment variables that cap the thread pools of every BLAS/OpenMP
-#: backend numpy might be linked against.
-_BLAS_ENV_VARS = (
-    "OMP_NUM_THREADS",
-    "OPENBLAS_NUM_THREADS",
-    "MKL_NUM_THREADS",
-    "NUMEXPR_NUM_THREADS",
-    "VECLIB_MAXIMUM_THREADS",
-)
-
-
-def derive_seed(base_seed: int, key: str) -> int:
-    """A stable 63-bit seed from ``(base_seed, key)``.
-
-    SHA-256 keeps the mapping independent of Python's per-process hash
-    randomization and spreads adjacent keys across the seed space, so
-    per-task RNG streams are statistically independent yet reproducible
-    from the task key alone.
-    """
-    digest = hashlib.sha256(f"{base_seed}:{key}".encode()).digest()
-    return int.from_bytes(digest[:8], "big") >> 1
 
 
 @dataclass(frozen=True)
@@ -80,16 +68,6 @@ class EvalTask:
         return self.seed if self.seed is not None else derive_seed(base_seed, self.key)
 
 
-@dataclass(frozen=True)
-class TaskFailure:
-    """A task exception captured in the worker, traceback included."""
-
-    key: str
-    exception_type: str
-    message: str
-    traceback_text: str
-
-
 class ParallelEvaluationError(RuntimeError):
     """Raised in the parent when one or more tasks failed."""
 
@@ -103,35 +81,13 @@ class ParallelEvaluationError(RuntimeError):
         super().__init__(f"{len(failures)} evaluation task(s) failed: {keys}\n{detail}")
 
 
-def _pin_blas_threads() -> None:
-    """Best-effort single-thread BLAS pinning for a worker process.
-
-    The environment variables only take effect for pools not yet
-    initialized; ``threadpoolctl`` (when available) additionally caps pools
-    the forked child inherited already warmed up.
-    """
-    for var in _BLAS_ENV_VARS:
-        os.environ[var] = "1"
-    try:  # pragma: no cover - optional dependency
-        import threadpoolctl
-
-        threadpoolctl.threadpool_limits(limits=1)
-    except Exception:
-        pass
-
-
 def _execute(payload: tuple[str, Callable[..., Any], tuple, dict, int]) -> tuple[str, bool, Any]:
     """Run one task, trapping any exception into a TaskFailure."""
     key, fn, args, kwargs, seed = payload
     try:
         return key, True, fn(*args, seed=seed, **kwargs)
     except Exception as exc:  # noqa: BLE001 - propagate everything, structured
-        return key, False, TaskFailure(
-            key=key,
-            exception_type=type(exc).__name__,
-            message=str(exc),
-            traceback_text=traceback.format_exc(),
-        )
+        return key, False, capture_failure(key, exc)
 
 
 def resolve_processes(n_tasks: int, processes: int | None = None) -> int:
@@ -168,13 +124,13 @@ def run_tasks(
     payloads = [(t.key, t.fn, t.args, t.kwargs, t.resolved_seed(base_seed)) for t in tasks]
 
     outcomes: list[tuple[str, bool, Any]]
-    if n_workers == 1 or not _fork_available():
+    if n_workers == 1 or not fork_available():
         outcomes = [_execute(p) for p in payloads]
     else:
         import multiprocessing as mp
 
         ctx = mp.get_context("fork")
-        with ctx.Pool(processes=n_workers, initializer=_pin_blas_threads) as pool:
+        with ctx.Pool(processes=n_workers, initializer=pin_blas_threads) as pool:
             outcomes = list(pool.imap_unordered(_execute, payloads))
 
     results: dict[str, Any] = {}
@@ -187,12 +143,3 @@ def run_tasks(
     if failures:
         raise ParallelEvaluationError(failures)
     return results
-
-
-def _fork_available() -> bool:
-    """Fork keeps task functions picklable by reference even when defined in
-    conftest-style modules; without it (e.g. Windows) we run serially rather
-    than risk spawn-mode import failures."""
-    import multiprocessing as mp
-
-    return "fork" in mp.get_all_start_methods()

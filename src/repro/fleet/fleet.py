@@ -1,0 +1,414 @@
+"""The sharded serving fleet: N worker processes behind one tenant router.
+
+One :class:`~repro.gateway.gateway.OptimizerGateway` is GIL-capped — its
+coalescing worker thread and every caller share one interpreter, so adding
+client threads *degrades* throughput (``benchmarks/BENCH_gateway.json``).
+The fleet breaks that cap with processes: each shard is a forked child
+hosting a full private serving stack (checkpoint → ``CostInferenceService``
+→ ``OptimizerGateway``), and a consistent-hash router
+(:mod:`repro.fleet.router`) pins every tenant to one shard so its
+encoding/prediction caches stay hot and the fleet's *aggregate* cache
+capacity is N× a single process's.
+
+Parent-side responsibilities (this module):
+
+* process lifecycle — fork workers (reusing the evaluation pool's
+  bootstrap: BLAS pinned to one thread per worker, seeds derived per
+  worker), graceful drain on :meth:`ServingFleet.close`;
+* routing + framing — per-worker duplex pipes, one lock per pipe (callers
+  to *different* shards never serialize on each other), encode-once plan
+  shipping via per-worker ``plans_key`` memory with ``need-plans`` resend;
+* staged promotes — :meth:`promote` walks live workers one at a time,
+  each loading the checkpoint and warming its caches before the next
+  starts, so the fleet never has every shard cold simultaneously;
+* crash containment — a dead worker sheds only its own in-flight request
+  to the parent's native fallback (reason ``"worker-crash"``), leaves the
+  ring, and its tenants remap to the survivors (~1/N of the keyspace);
+  the event is visible in fleet telemetry (``worker_failures_total``,
+  ``workers_alive``);
+* merged observability — per-shard gateway snapshots plus fleet-level
+  counters, merged into one JSON/Prometheus export
+  (:mod:`repro.fleet.telemetry`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.evaluation.pool import fork_available
+from repro.fleet.router import ConsistentHashRouter
+from repro.fleet.telemetry import merge_snapshots, merged_to_prometheus
+from repro.fleet.worker import fleet_worker_main
+from repro.gateway import GatewayResult, NativeCostFallback, Telemetry
+
+__all__ = ["ServingFleet", "WorkerCrashError"]
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker died mid-conversation (pipe broke or process exited)."""
+
+
+class _WorkerHandle:
+    """Parent-side state for one shard: process, pipe, pipe lock, and the
+    set of candidate-set keys already shipped to this worker."""
+
+    __slots__ = ("name", "process", "conn", "lock", "alive", "sent_keys")
+
+    def __init__(self, name, process, conn) -> None:
+        self.name = name
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.alive = True
+        self.sent_keys: set = set()
+
+
+class ServingFleet:
+    """N sharded gateway workers behind a consistent-hash tenant router.
+
+    ``checkpoint_path`` is the promoted model every worker loads at boot
+    (``None`` starts the fleet model-less: every shard answers from its
+    native fallback with reason ``"no-model"`` until :meth:`promote`).
+    Requires a platform with ``fork`` (POSIX); construction raises
+    otherwise rather than serving a silently single-process fleet.
+    """
+
+    def __init__(
+        self,
+        checkpoint_path=None,
+        *,
+        n_workers: int = 4,
+        service_kwargs: dict | None = None,
+        gateway_config=None,
+        replicas: int = 96,
+        base_seed: int = 0,
+        rpc_timeout: float = 60.0,
+        fallback: NativeCostFallback | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if not fork_available():
+            raise RuntimeError("ServingFleet requires a platform with fork")
+        import multiprocessing as mp
+
+        self.rpc_timeout = rpc_timeout
+        self.fallback = fallback or NativeCostFallback()
+        self.telemetry = telemetry or Telemetry()
+        self._req_counter = 0
+        self._req_lock = threading.Lock()
+        self._closed = False
+        ctx = mp.get_context("fork")
+        self._workers: dict[str, _WorkerHandle] = {}
+        for i in range(n_workers):
+            name = f"shard-{i}"
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=fleet_worker_main,
+                args=(child_conn,),
+                kwargs={
+                    "worker_id": name,
+                    "checkpoint_path": (
+                        str(checkpoint_path) if checkpoint_path is not None else None
+                    ),
+                    "service_kwargs": service_kwargs,
+                    "gateway_config": gateway_config,
+                    "base_seed": base_seed,
+                },
+                name=f"fleet-{name}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers[name] = _WorkerHandle(name, process, parent_conn)
+        self.router = ConsistentHashRouter(self._workers, replicas=replicas)
+        self.telemetry.gauge("workers_alive", "live fleet workers").set(n_workers)
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _next_req_id(self) -> int:
+        with self._req_lock:
+            self._req_counter += 1
+            return self._req_counter
+
+    def _recv(self, handle: _WorkerHandle, req_id: int):
+        """One reply for ``req_id`` (the pipe is request-response under the
+        handle's lock, so replies cannot interleave); polls so a worker
+        death surfaces as :class:`WorkerCrashError` instead of a hang."""
+        deadline = time.monotonic() + self.rpc_timeout
+        while True:
+            if handle.conn.poll(0.05):
+                reply = handle.conn.recv()
+                if reply[1] != req_id:
+                    raise WorkerCrashError(
+                        f"{handle.name}: protocol desync (reply {reply[1]}, "
+                        f"expected {req_id})"
+                    )
+                return reply
+            if not handle.process.is_alive():
+                raise WorkerCrashError(f"{handle.name}: worker process died")
+            if time.monotonic() > deadline:
+                raise WorkerCrashError(f"{handle.name}: rpc timed out")
+
+    def _rpc(self, handle: _WorkerHandle, message: tuple):
+        try:
+            with handle.lock:
+                handle.conn.send(message)
+                return self._recv(handle, message[1])
+        except (WorkerCrashError, EOFError, BrokenPipeError, ConnectionError, OSError) as exc:
+            self._mark_dead(handle, exc)
+            raise WorkerCrashError(f"{handle.name}: {exc}") from exc
+
+    def _mark_dead(self, handle: _WorkerHandle, cause) -> None:
+        if not handle.alive:
+            return
+        handle.alive = False
+        try:
+            self.router.remove_shard(handle.name)
+        except KeyError:
+            pass
+        self.telemetry.counter(
+            "worker_failures_total", "fleet workers lost (crash or pipe break)"
+        ).inc()
+        self.telemetry.gauge("workers_alive", "live fleet workers").set(
+            len(self.live_workers())
+        )
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+
+    def live_workers(self) -> list[str]:
+        return [name for name, h in self._workers.items() if h.alive]
+
+    # -- request path ----------------------------------------------------------
+
+    def predict(
+        self,
+        tenant: str,
+        plans,
+        *,
+        env_features=None,
+        deadline_ms: float | None = None,
+        plans_key=None,
+    ) -> GatewayResult:
+        """Score ``plans`` for ``tenant`` on its pinned shard.  Same contract
+        as ``OptimizerGateway.predict`` — always answers, flagging source
+        and reason.  ``plans_key``, when stable across calls for the same
+        candidate set, enables encode-once framing: the plan trees cross
+        the pipe only on the first request per worker."""
+        results = self.predict_sweep(
+            tenant,
+            plans,
+            [env_features],
+            deadline_ms=deadline_ms,
+            plans_key=plans_key,
+        )
+        return results[0]
+
+    def predict_sweep(
+        self,
+        tenant: str,
+        plans,
+        env_sweep,
+        *,
+        deadline_ms: float | None = None,
+        plans_key=None,
+    ) -> list[GatewayResult]:
+        """Score one candidate set under every environment of ``env_sweep``
+        in a single round trip to the tenant's shard (batched framing)."""
+        started = time.monotonic()
+        self.telemetry.counter("requests_total", "fleet requests received").inc()
+        envs = [
+            tuple(float(v) for v in env) if env is not None else None
+            for env in env_sweep
+        ]
+        plans = list(plans)
+        # A crash mid-request sheds to the fallback; a crash detected at
+        # routing time retries on the shrunken ring (the survivors own the
+        # dead shard's keyspace).
+        for _attempt in range(max(1, len(self._workers))):
+            live = self.live_workers()
+            if self._closed or not live:
+                break
+            shard = self.router.route(tenant)
+            handle = self._workers[shard]
+            if not handle.alive:
+                continue
+            send_plans = plans if plans_key is None or plans_key not in handle.sent_keys else None
+            req_id = self._next_req_id()
+            try:
+                reply = self._rpc(
+                    handle,
+                    ("predict", req_id, plans_key, send_plans, envs, deadline_ms),
+                )
+                if reply[0] == "need-plans":
+                    # Worker evicted (or never saw) this key; resend inline.
+                    handle.sent_keys.discard(plans_key)
+                    req_id = self._next_req_id()
+                    reply = self._rpc(
+                        handle,
+                        ("predict", req_id, plans_key, plans, envs, deadline_ms),
+                    )
+            except WorkerCrashError:
+                return self._shed(plans, envs, started, reason="worker-crash")
+            if plans_key is not None:
+                handle.sent_keys.add(plans_key)
+            latency_ms = 1e3 * (time.monotonic() - started)
+            return [
+                GatewayResult(np.asarray(costs), source, reason, latency_ms, version)
+                for costs, source, reason, version in reply[2]
+            ]
+        return self._shed(
+            plans, envs, started, reason="closed" if self._closed else "no-workers"
+        )
+
+    def _shed(self, plans, envs, started, *, reason: str) -> list[GatewayResult]:
+        """Answer a request the fleet could not place from the parent-side
+        native fallback — the fleet keeps the gateway's one invariant."""
+        self.telemetry.counter(
+            "fallback_total", "fleet requests answered by the parent fallback"
+        ).inc()
+        self.telemetry.counter(
+            f"fallback_{reason.replace('-', '_')}_total", f"fleet fallbacks: {reason}"
+        ).inc()
+        latency_ms = 1e3 * (time.monotonic() - started)
+        return [
+            GatewayResult(
+                self.fallback.predict(plans, env_features=env),
+                "fallback",
+                reason,
+                latency_ms,
+                None,
+            )
+            for env in envs
+        ]
+
+    # -- model rollout ---------------------------------------------------------
+
+    def promote(self, checkpoint_path, *, warm=None) -> dict[str, int]:
+        """Stage ``checkpoint_path`` across the fleet, worker by worker.
+
+        Each live worker loads the checkpoint, hot-swaps it into its
+        service, and warms its caches from ``warm`` (``(plan,
+        env_features)`` pairs, e.g. the feedback log's hottest plans)
+        before the next worker begins — a rolling restart of the model,
+        never of the processes.  Returns ``{shard: weights_version}`` for
+        every worker that converged; raises if any live worker failed to
+        ack or versions diverged."""
+        acked: dict[str, int] = {}
+        for name in list(self._workers):
+            handle = self._workers[name]
+            if not handle.alive:
+                continue
+            req_id = self._next_req_id()
+            reply = self._rpc(
+                handle, ("load", req_id, str(checkpoint_path), warm)
+            )
+            acked[name] = int(reply[2])
+        if not acked:
+            raise RuntimeError("promote with no live workers")
+        if len(set(acked.values())) != 1:
+            raise RuntimeError(f"fleet diverged after promote: {acked}")
+        self.telemetry.counter("promotes_total", "staged fleet promotes").inc()
+        self.telemetry.gauge(
+            "model_weights_version", "weights_version every shard converged to"
+        ).set(next(iter(acked.values())))
+        return acked
+
+    # -- chaos + observability ---------------------------------------------------
+
+    def crash_worker(self, shard: str) -> None:
+        """Chaos hook: make ``shard`` die abruptly (``os._exit`` in the
+        child).  The next request routed to it observes the death, sheds to
+        the fallback, and remaps the shard's tenants."""
+        handle = self._workers[shard]
+        if not handle.alive:
+            raise KeyError(f"{shard} is already dead")
+        with handle.lock:
+            handle.conn.send(("crash", self._next_req_id()))
+
+    def ping(self) -> dict[str, int]:
+        """Liveness probe of every live worker: ``{shard: derived seed}``."""
+        out = {}
+        for name, handle in self._workers.items():
+            if not handle.alive:
+                continue
+            try:
+                reply = self._rpc(handle, ("ping", self._next_req_id()))
+            except WorkerCrashError:
+                continue
+            out[name] = reply[3]
+        return out
+
+    def stats(self) -> dict:
+        """Fleet-wide operational snapshot: per-shard gateway telemetry,
+        the merged view, and the parent's fleet-level counters."""
+        shards: dict[str, dict] = {}
+        for name, handle in self._workers.items():
+            if not handle.alive:
+                continue
+            try:
+                reply = self._rpc(handle, ("stats", self._next_req_id()))
+            except WorkerCrashError:
+                continue
+            shards[name] = reply[2]
+        merged = merge_snapshots(list(shards.values()))
+        return {
+            "workers_alive": len(self.live_workers()),
+            "workers_total": len(self._workers),
+            "fleet": self.telemetry.snapshot(),
+            "shards": shards,
+            "merged": merged,
+        }
+
+    def to_prometheus(self) -> str:
+        """One text exposition: merged per-shard metrics under
+        ``repro_fleet`` plus parent-side counters under ``repro_fleet_parent``."""
+        stats = self.stats()
+        parent = self.telemetry
+        parent_ns = parent.namespace
+        try:
+            parent.namespace = "repro_fleet_parent"
+            parent_text = parent.to_prometheus()
+        finally:
+            parent.namespace = parent_ns
+        return merged_to_prometheus(stats["merged"]) + parent_text
+
+    # -- shutdown --------------------------------------------------------------
+
+    def close(self, *, timeout: float = 10.0) -> None:
+        """Drain and stop every worker (idempotent).  Each worker's own
+        gateway drains its admitted requests before exiting; workers that
+        fail to exit in ``timeout`` are terminated."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers.values():
+            if not handle.alive:
+                continue
+            try:
+                self._rpc(handle, ("close", self._next_req_id()))
+            except WorkerCrashError:
+                continue
+        deadline = time.monotonic() + timeout
+        for handle in self._workers.values():
+            handle.process.join(max(0.1, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(5.0)
+            handle.alive = False
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self.telemetry.gauge("workers_alive", "live fleet workers").set(0)
+
+    def __enter__(self) -> "ServingFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,96 @@
+"""Consistent-hash tenant routing for the serving fleet.
+
+The fleet's throughput story depends on cache locality: each worker
+process owns private encoding/prediction caches, so a tenant whose
+requests bounce between shards pays a cold path on every bounce.  The
+router pins every tenant to one shard — and keeps pinning it there across
+restarts and across *other* shards joining or leaving.
+
+A plain ``hash(tenant) % n`` breaks both properties: Python string hashing
+is randomized per process (``PYTHONHASHSEED``), and changing ``n`` remaps
+almost every tenant.  This ring uses SHA-256 (stable everywhere) and
+consistent hashing with virtual replicas: each shard owns ``replicas``
+pseudo-random points on a 64-bit ring, a tenant routes to the first shard
+point clockwise from its own hash, and removing a shard reassigns only the
+tenants that were mapped to it (~1/N of the keyspace, scattered by the
+replicas so the survivors absorb the load evenly).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["ConsistentHashRouter"]
+
+
+def _point(key: str) -> int:
+    """A stable 64-bit ring position for ``key``."""
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "big")
+
+
+class ConsistentHashRouter:
+    """Tenant → shard assignment on a consistent-hash ring.
+
+    ``replicas`` trades balance for ring size: with ``R`` virtual points
+    per shard the max/mean load skew over a uniform keyspace concentrates
+    as ``O(1/sqrt(R))``; the default 96 keeps skew within ~2x even for
+    heavy-tailed tenant popularity, while membership ops stay O(R log RN).
+    """
+
+    def __init__(self, shards=(), *, replicas: int = 96) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: list[int] = []  # sorted ring positions
+        self._owners: list[str] = []  # shard owning the same-index point
+        self._shards: set[str] = set()
+        for shard in shards:
+            self.add_shard(shard)
+
+    # -- membership ------------------------------------------------------------
+
+    @property
+    def shards(self) -> list[str]:
+        return sorted(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def add_shard(self, shard: str) -> None:
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} already on the ring")
+        for r in range(self.replicas):
+            point = _point(f"{shard}#{r}")
+            i = bisect.bisect_left(self._points, point)
+            # SHA-256 collisions on 64 bits across a few thousand points are
+            # ~2^-40 territory; deterministic tie-break keeps it a non-event.
+            if i < len(self._points) and self._points[i] == point and self._owners[i] < shard:
+                i += 1
+            self._points.insert(i, point)
+            self._owners.insert(i, shard)
+        self._shards.add(shard)
+
+    def remove_shard(self, shard: str) -> None:
+        if shard not in self._shards:
+            raise KeyError(f"shard {shard!r} not on the ring")
+        keep = [i for i, owner in enumerate(self._owners) if owner != shard]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+        self._shards.remove(shard)
+
+    # -- routing ---------------------------------------------------------------
+
+    def route(self, tenant: str) -> str:
+        """The shard owning ``tenant``: first ring point clockwise from the
+        tenant's hash (wrapping past the top of the ring)."""
+        if not self._points:
+            raise RuntimeError("route on an empty ring (no shards)")
+        i = bisect.bisect_right(self._points, _point(tenant))
+        if i == len(self._points):
+            i = 0
+        return self._owners[i]
+
+    def assignment(self, tenants) -> dict[str, str]:
+        """Batch :meth:`route`, as a ``{tenant: shard}`` dict."""
+        return {tenant: self.route(tenant) for tenant in tenants}

@@ -1,0 +1,89 @@
+"""Fleet-level telemetry: merging per-worker snapshots into one export.
+
+Each fleet worker owns a full :class:`~repro.gateway.telemetry.Telemetry`
+registry in its own process; operators want one dashboard, not N.  The
+merge rules per instrument kind:
+
+* **counters** — summed: totals across the fleet are the sum of per-shard
+  totals, exactly.
+* **gauges** — summed: the fleet-wide queue depth / cache sizes are sums
+  of per-shard ones.  (Per-shard state gauges like ``breaker_state`` stay
+  meaningful per shard; their sum reads as "number of degraded shards"
+  weighted by severity, which is the alarm an operator wants anyway.)
+* **histograms** — ``count``/``sum`` are summed exactly and ``min``/
+  ``max`` combined exactly; quantiles cannot be merged exactly from
+  summaries, so the merged pXX is the **max across shards** — a
+  conservative (pessimistic) bound.  A merged p99 that looks fine
+  guarantees every shard's p99 is fine.
+
+The merged snapshot exports in the same JSON shape as a single gateway's
+``Telemetry.snapshot()`` plus a ``shards`` count, and to Prometheus text
+under the ``repro_fleet`` namespace.
+"""
+
+from __future__ import annotations
+
+from repro.gateway.telemetry import QUANTILES, _sanitize
+
+__all__ = ["merge_snapshots", "merged_to_prometheus"]
+
+_QUANTILE_KEYS = tuple(f"p{int(q * 100)}" for q in QUANTILES)
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Combine per-worker telemetry snapshots (``Telemetry.snapshot()``
+    shape; extra keys like ``breaker`` are ignored) into one."""
+    merged: dict = {
+        "shards": len(snapshots),
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            merged["gauges"][name] = merged["gauges"].get(name, 0.0) + value
+        for name, hist in snap.get("histograms", {}).items():
+            out = merged["histograms"].get(name)
+            if out is None:
+                merged["histograms"][name] = dict(hist)
+                continue
+            if hist["count"]:
+                if out["count"]:
+                    out["min"] = min(out["min"], hist["min"])
+                    out["max"] = max(out["max"], hist["max"])
+                else:
+                    out["min"], out["max"] = hist["min"], hist["max"]
+            out["count"] += hist["count"]
+            out["sum"] += hist["sum"]
+            for key in _QUANTILE_KEYS:
+                out[key] = max(out[key], hist[key])
+            out["mean"] = out["sum"] / out["count"] if out["count"] else 0.0
+    return merged
+
+
+def merged_to_prometheus(merged: dict, *, namespace: str = "repro_fleet") -> str:
+    """Prometheus text exposition of a merged snapshot (same conventions as
+    ``Telemetry.to_prometheus``: counters/gauges verbatim, histograms as
+    summaries with quantile labels — merged quantiles are upper bounds)."""
+    ns = _sanitize(namespace)
+    lines: list[str] = []
+    lines.append(f"# TYPE {ns}_shards gauge")
+    lines.append(f"{ns}_shards {merged.get('shards', 0):.10g}")
+    for name, value in merged.get("counters", {}).items():
+        metric = f"{ns}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value:.10g}")
+    for name, value in merged.get("gauges", {}).items():
+        metric = f"{ns}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value:.10g}")
+    for name, hist in merged.get("histograms", {}).items():
+        metric = f"{ns}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} summary")
+        for q, key in zip(QUANTILES, _QUANTILE_KEYS):
+            lines.append(f'{metric}{{quantile="{q:g}"}} {hist[key]:.10g}')
+        lines.append(f"{metric}_sum {hist['sum']:.10g}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,141 @@
+"""The fleet worker process: one gateway + inference service per shard.
+
+Each worker is a forked child running this module's :func:`fleet_worker_main`
+loop.  It reuses the evaluation pool's bootstrap (:mod:`repro.evaluation.
+pool`) — BLAS threads pinned to one per process so N workers do not
+oversubscribe the machine N×BLAS ways, and a per-worker seed derived from
+``(base_seed, "fleet-worker-<id>")`` via SHA-256 so any worker-local
+randomness is reproducible regardless of fleet size — then loads the
+promoted checkpoint and serves a full single-process stack:
+``load_predictor → CostInferenceService → OptimizerGateway``.  The parent
+talks to it over one duplex ``multiprocessing`` connection with a small
+framed protocol:
+
+``("predict", req_id, plans_key, plans, envs, deadline_ms)``
+    Score one candidate set under each environment of ``envs`` (batched
+    framing: a whole environment sweep rides one round trip).  ``plans``
+    may be ``None`` when ``plans_key`` was shipped before — the worker
+    keeps an LRU of recently seen candidate sets so steady-state traffic
+    never pickles plan trees across the pipe; an unknown key answers
+    ``("need-plans", req_id)`` and the client resends with plans attached.
+``("load", req_id, checkpoint_path, warm)``
+    Staged promote: load the checkpoint, hot-swap it into the service
+    (``swap_predictor(..., warm=...)`` re-scoring the warm list so the
+    first post-promote requests hit a warm cache), ack the new
+    ``weights_version``.
+``("stats", req_id)`` / ``("ping", req_id)`` / ``("close", req_id)``
+    Telemetry snapshot, liveness probe, graceful drain-and-exit.
+``("crash", req_id)``
+    Chaos hook: die immediately (``os._exit``), as a real worker would on
+    a segfault or OOM kill — the parent's shed-and-remap path is the test
+    subject, so the death must skip Python cleanup.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+from repro.evaluation.pool import derive_seed, pin_blas_threads
+
+__all__ = ["fleet_worker_main"]
+
+#: Candidate sets remembered per worker (keyed by the client's plans_key).
+_PLAN_CACHE_CAP = 512
+
+
+def _build_gateway(checkpoint_path, service_kwargs, gateway_config):
+    from repro.gateway import OptimizerGateway
+    from repro.serving.service import CostInferenceService
+
+    service = None
+    if checkpoint_path is not None:
+        service = CostInferenceService.from_checkpoint(
+            checkpoint_path, **(service_kwargs or {})
+        )
+    return OptimizerGateway(service, config=gateway_config)
+
+
+def fleet_worker_main(
+    conn,
+    *,
+    worker_id: str,
+    checkpoint_path=None,
+    service_kwargs: dict | None = None,
+    gateway_config=None,
+    base_seed: int = 0,
+) -> None:
+    """Entry point of one forked fleet worker (blocks until ``close``)."""
+    pin_blas_threads()
+    seed = derive_seed(base_seed, f"fleet-{worker_id}")
+    gateway = _build_gateway(checkpoint_path, service_kwargs, gateway_config)
+    plan_cache: "OrderedDict[object, list]" = OrderedDict()
+
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break  # parent went away; nothing left to serve
+            kind, req_id = message[0], message[1]
+
+            if kind == "predict":
+                _, _, plans_key, plans, envs, deadline_ms = message
+                if plans is None:
+                    plans = plan_cache.get(plans_key)
+                    if plans is None:
+                        conn.send(("need-plans", req_id))
+                        continue
+                    plan_cache.move_to_end(plans_key)
+                elif plans_key is not None:
+                    plan_cache[plans_key] = plans
+                    plan_cache.move_to_end(plans_key)
+                    while len(plan_cache) > _PLAN_CACHE_CAP:
+                        plan_cache.popitem(last=False)
+                results = []
+                for env in envs:
+                    r = gateway.predict(
+                        plans, env_features=env, deadline_ms=deadline_ms
+                    )
+                    results.append((r.costs, r.source, r.reason, r.model_version))
+                conn.send(("ok", req_id, results))
+
+            elif kind == "load":
+                _, _, path, warm = message
+                from repro.core.serialization import load_predictor
+
+                predictor, _env = load_predictor(path)
+                if gateway.has_model:
+                    gateway.service.swap_predictor(predictor, warm=warm or None)
+                    gateway.notify_swap()
+                else:
+                    from repro.serving.service import CostInferenceService
+
+                    service = CostInferenceService(
+                        predictor, **(service_kwargs or {})
+                    )
+                    gateway.attach_service(service)
+                    if warm:
+                        service.warm_caches(warm)
+                conn.send(
+                    ("loaded", req_id, gateway.service.predictor.weights_version)
+                )
+
+            elif kind == "stats":
+                conn.send(("stats", req_id, gateway.stats()))
+
+            elif kind == "ping":
+                conn.send(("pong", req_id, worker_id, seed))
+
+            elif kind == "crash":
+                os._exit(1)
+
+            elif kind == "close":
+                conn.send(("closed", req_id))
+                break
+
+            else:
+                conn.send(("error", req_id, f"unknown message kind {kind!r}"))
+    finally:
+        gateway.close()
+        conn.close()

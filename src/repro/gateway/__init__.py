@@ -8,7 +8,12 @@ native-cost fallback, and built-in telemetry.
 
 from repro.gateway.breaker import BreakerConfig, BreakerOpenError, CircuitBreaker
 from repro.gateway.fallback import NativeCostFallback, environment_factor_from_features
-from repro.gateway.gateway import GatewayConfig, GatewayResult, OptimizerGateway
+from repro.gateway.gateway import (
+    GatewayClosedError,
+    GatewayConfig,
+    GatewayResult,
+    OptimizerGateway,
+)
 from repro.gateway.telemetry import Counter, Gauge, Histogram, Telemetry
 
 __all__ = [
@@ -17,6 +22,7 @@ __all__ = [
     "CircuitBreaker",
     "Counter",
     "Gauge",
+    "GatewayClosedError",
     "GatewayConfig",
     "GatewayResult",
     "Histogram",

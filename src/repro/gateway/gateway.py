@@ -49,7 +49,12 @@ from repro.gateway.breaker import BreakerConfig, CircuitBreaker
 from repro.gateway.fallback import NativeCostFallback
 from repro.gateway.telemetry import Telemetry
 
-__all__ = ["GatewayConfig", "GatewayResult", "OptimizerGateway"]
+__all__ = ["GatewayClosedError", "GatewayConfig", "GatewayResult", "OptimizerGateway"]
+
+
+class GatewayClosedError(RuntimeError):
+    """Marks a request that was drained because the gateway shut down; the
+    waiting caller answers it from the fallback with reason ``"closed"``."""
 
 #: Breaker-state gauge encoding (``breaker_state`` telemetry gauge).
 _BREAKER_STATE_CODES = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
@@ -179,6 +184,10 @@ class OptimizerGateway:
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         self._queue: deque[_PendingRequest] = deque()
+        #: Requests the worker has popped but not yet answered — tracked so
+        #: :meth:`close` can fail them over to the fallback if the worker is
+        #: stuck in the learned path past the join timeout.
+        self._inflight: list[_PendingRequest] = []
         self._service = service
         self._service_lock = threading.Lock()
         self._fault_budget = 0
@@ -262,15 +271,22 @@ class OptimizerGateway:
         request = _PendingRequest(list(plans), env_features, env_key, deadline, started)
 
         with self._work:
-            if len(self._queue) >= self.config.max_queue_depth:
+            if not self._running:
+                closed = True
+                shed = False
+            elif len(self._queue) >= self.config.max_queue_depth:
+                closed = False
                 shed = True
             else:
-                shed = False
+                closed = shed = False
                 self._queue.append(request)
                 self.telemetry.gauge("queue_depth", "pending requests").set(
                     len(self._queue)
                 )
                 self._work.notify()
+        if closed:
+            self.breaker.release_probe()
+            return self._fallback_result(plans, env_features, "closed", started)
         if shed:
             self.breaker.release_probe()
             return self._fallback_result(plans, env_features, "shed", started)
@@ -299,7 +315,8 @@ class OptimizerGateway:
                 started,
             )
         if done:
-            return self._fallback_result(plans, env_features, "model-error", started)
+            reason = "closed" if isinstance(error, GatewayClosedError) else "model-error"
+            return self._fallback_result(plans, env_features, reason, started)
         self.telemetry.counter("deadline_miss_total", "requests past budget").inc()
         return self._fallback_result(plans, env_features, "deadline", started)
 
@@ -386,17 +403,35 @@ class OptimizerGateway:
                 self.telemetry.gauge("queue_depth", "pending requests").set(
                     len(self._queue)
                 )
+                self._observe_queue_wait(first)
+                if first.done:
+                    # Already answered by a concurrent close() drain.
+                    continue
                 if first.abandoned:
                     abandoned_early = True
                 else:
                     abandoned_early = False
+                    self._inflight.append(first)
             if abandoned_early:
                 # The caller already answered from the fallback; the learned
                 # path failed to schedule it in budget — a slow call.
                 self.breaker.record_failure(kind="slow")
                 continue
             group = self._coalesce(first)
-            self._execute(group)
+            try:
+                self._execute(group)
+            finally:
+                with self._lock:
+                    self._inflight.clear()
+
+    def _observe_queue_wait(self, request: _PendingRequest) -> None:
+        """Admission-to-pickup wait, the queueing half of request latency
+        (the other half, the learned batch compute, is ``service_time``).
+        Recorded for every popped request — including abandoned ones, whose
+        queue wait is exactly what blew their budget."""
+        self.telemetry.histogram(
+            "queue_wait_seconds", "request wait from admission to worker pickup"
+        ).observe(time.monotonic() - request.enqueued_at)
 
     def _coalesce(self, first: _PendingRequest) -> list[_PendingRequest]:
         """Merge queued requests with the same environment key into one
@@ -423,10 +458,19 @@ class OptimizerGateway:
                 self.telemetry.gauge("queue_depth", "pending requests").set(
                     len(self._queue)
                 )
-                if nxt.abandoned:
+                self._observe_queue_wait(nxt)
+                if nxt.done:
+                    nxt = None  # answered by a concurrent close() drain
+                    drained = True
+                elif nxt.abandoned:
                     nxt = None
+                    drained = False
+                else:
+                    drained = False
+                    self._inflight.append(nxt)
             if nxt is None:
-                self.breaker.record_failure(kind="slow")
+                if not drained:
+                    self.breaker.record_failure(kind="slow")
                 continue
             group.append(nxt)
             total += len(nxt.plans)
@@ -460,26 +504,35 @@ class OptimizerGateway:
             len(all_plans)
         )
 
+        service_time = self.telemetry.histogram(
+            "service_time_seconds",
+            "learned-path compute share of request latency (per request, its "
+            "batch's execution time; queue_wait_seconds holds the other half)",
+        )
         offset = 0
         now = time.monotonic()
         for request in group:
             n = len(request.plans)
             with self._lock:
                 abandoned = request.abandoned
-                if not abandoned:
+                drained = request.done  # answered by a concurrent close()
+                if not abandoned and not drained:
                     request.done = True
                     if error is not None:
                         request.error = error
                     else:
                         request.result = np.asarray(predictions[offset : offset + n])
                     request.event.set()
-            if abandoned:
+            if drained:
+                pass  # caller already answered from the fallback
+            elif abandoned:
                 # Caller answered from fallback at its deadline while we were
                 # computing: a slow call against the breaker.
                 self.breaker.record_failure(kind="slow")
             elif error is not None:
                 self.breaker.record_failure(kind="error")
             else:
+                service_time.observe(elapsed)
                 self.breaker.record_success(now - request.enqueued_at)
             offset += n
         self._sync_gauges()
@@ -525,17 +578,29 @@ class OptimizerGateway:
     # -- shutdown --------------------------------------------------------------
 
     def close(self, *, timeout: float = 5.0) -> None:
-        """Stop the worker.  Requests still queued when it exits are failed
-        over to the fallback by their waiting callers."""
+        """Stop the worker, draining every already-admitted request.
+
+        New admissions are refused immediately (answered from the fallback
+        with reason ``"closed"``).  The worker keeps processing what was
+        already admitted — those callers still get learned answers — and if
+        it has not finished within ``timeout`` (a stuck learned path),
+        everything still queued *or in flight* is failed over so the waiting
+        callers answer from the fallback instead of blocking forever.  The
+        gateway's one invariant survives shutdown: every admitted request is
+        answered."""
         with self._work:
             self._running = False
             self._work.notify_all()
         self._worker.join(timeout)
         with self._lock:
-            while self._queue:
-                request = self._queue.popleft()
+            stranded = list(self._queue) + list(self._inflight)
+            self._queue.clear()
+            self._inflight.clear()
+            for request in stranded:
+                if request.done:
+                    continue
                 request.done = True
-                request.error = RuntimeError("gateway closed")
+                request.error = GatewayClosedError("gateway closed")
                 request.event.set()
 
     def __enter__(self) -> "OptimizerGateway":

@@ -71,6 +71,10 @@ class ModelLifecycle:
         #: :meth:`serve_through_gateway`); notified on every hot swap so
         #: their circuit breakers reset for the new model version.
         self._gateways: list = []
+        #: Serving fleets attached via :meth:`attach_fleet`: every
+        #: promotion/rollback broadcasts the newly-current registry
+        #: checkpoint to them as a staged, cache-warming rollout.
+        self._fleets: list = []
         self.environment_features: tuple[float, float, float, float] | None = None
         if self.registry.current is not None:
             predictor, env = self.registry.load()
@@ -105,6 +109,13 @@ class ModelLifecycle:
         from repro.serving.service import CostInferenceService
 
         self.environment_features = environment_features
+        warm = (
+            self.feedback.hottest_plans(
+                self.warm_top_k, default_env=environment_features
+            )
+            if self.warm_top_k > 0
+            else None
+        )
         if self._service is None:
             self._predictor = predictor
             self._service = CostInferenceService(predictor, **self._service_kwargs)
@@ -114,17 +125,41 @@ class ModelLifecycle:
             # Hot swap, warming both cache tiers with the feedback log's
             # hottest recurring plans so the promote's first requests for
             # fleet-hot shapes are served warm instead of as a cold burst.
-            warm = (
-                self.feedback.hottest_plans(
-                    self.warm_top_k, default_env=environment_features
-                )
-                if self.warm_top_k > 0
-                else None
-            )
             self._service.swap_predictor(predictor, warm=warm or None)
             self._predictor = predictor
             for gateway in self._gateways:
                 gateway.notify_swap()
+        self._broadcast_to_fleets(warm)
+
+    def _broadcast_to_fleets(self, warm) -> None:
+        """Roll the registry's *current* checkpoint across every attached
+        fleet (staged worker-by-worker, warming each shard's caches with
+        the same hottest-plans list the in-process swap used)."""
+        if not self._fleets:
+            return
+        current = self.registry.current
+        if current is None:
+            return
+        path = self.registry.root / current.path
+        for fleet in self._fleets:
+            fleet.promote(path, warm=warm or None)
+
+    def attach_fleet(self, fleet) -> None:
+        """Subscribe a :class:`~repro.fleet.fleet.ServingFleet` to this
+        lifecycle's rollouts: the current checkpoint ships immediately
+        (when one exists), and every later promotion or rollback is
+        broadcast as a staged fleet promote."""
+        self._fleets.append(fleet)
+        warm = (
+            self.feedback.hottest_plans(
+                self.warm_top_k, default_env=self.environment_features
+            )
+            if self.warm_top_k > 0
+            else None
+        )
+        current = self.registry.current
+        if current is not None:
+            fleet.promote(self.registry.root / current.path, warm=warm or None)
 
     def serve_through_gateway(
         self,

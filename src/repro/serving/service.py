@@ -560,6 +560,9 @@ class CostInferenceService:
         self.quantize_rtol = quantize_rtol
         self.parallel_encode_threshold = parallel_encode_threshold
         self.encode_processes = encode_processes
+        #: Representative environment restored by :meth:`from_checkpoint`
+        #: (``None`` when constructed directly or the checkpoint had none).
+        self.environment_features: tuple[float, float, float, float] | None = None
         self.encoding_cache = EncodingCache(encoding_cache_size)
         self.prediction_cache = PredictionCache(prediction_cache_size)
         self.enable_prediction_cache = enable_prediction_cache
@@ -587,6 +590,19 @@ class CostInferenceService:
         self._parallel_encode_batches = 0
         self._warmed_plans = 0
         self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    @classmethod
+    def from_checkpoint(cls, path, **kwargs) -> "CostInferenceService":
+        """Build a service straight from a registry checkpoint (the fleet
+        workers' boot path).  ``kwargs`` are the constructor's; the
+        checkpoint's stored representative environment, if any, is exposed
+        as ``service.environment_features``."""
+        from repro.core.serialization import load_predictor
+
+        predictor, env = load_predictor(path)
+        service = cls(predictor, **kwargs)
+        service.environment_features = env
+        return service
 
     # -- public API -----------------------------------------------------------
 

@@ -1,0 +1,349 @@
+"""Tests for the sharded serving fleet: router, workers, promotes, chaos.
+
+Fleet tests fork real worker processes and are skipped on platforms
+without ``fork``; router and telemetry-merge tests run everywhere.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import AdaptiveCostPredictor, PredictorConfig
+from repro.core.serialization import save_predictor
+from repro.evaluation.parallel import EvalTask, run_tasks
+from repro.evaluation.pool import fork_available
+from repro.fleet import ConsistentHashRouter, ServingFleet, merge_snapshots, merged_to_prometheus
+from repro.serving.service import CostInferenceService
+
+TINY = PredictorConfig(hidden_dims=(16, 12), embedding_dim=8, epochs=2, batch_size=16)
+ENV = (0.5, 0.05, 0.5, 0.5)
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="requires fork")
+
+
+def route_tenants_task(tenants, *, seed):
+    """Module-level fork-pool task: route ``tenants`` in a child process."""
+    del seed
+    router = ConsistentHashRouter([f"shard-{i}" for i in range(4)])
+    return router.assignment(tenants)
+
+
+# -- router ---------------------------------------------------------------------
+
+
+class TestRouter:
+    def test_route_is_deterministic_and_total(self):
+        router = ConsistentHashRouter(["a", "b", "c"])
+        tenants = [f"tenant-{i}" for i in range(500)]
+        first = router.assignment(tenants)
+        assert first == router.assignment(tenants)
+        assert set(first.values()) <= {"a", "b", "c"}
+        # Every shard owns a non-trivial slice of the keyspace.
+        assert set(first.values()) == {"a", "b", "c"}
+
+    def test_membership_validation(self):
+        router = ConsistentHashRouter(["a"])
+        with pytest.raises(ValueError):
+            router.add_shard("a")
+        with pytest.raises(KeyError):
+            router.remove_shard("zz")
+        router.remove_shard("a")
+        with pytest.raises(RuntimeError):
+            router.route("t")
+
+    @needs_fork
+    def test_deterministic_across_processes(self):
+        """Same assignment in a freshly forked interpreter — the property a
+        ``hash()``-based ring (randomized per process) would fail."""
+        tenants = [f"tenant-{i}" for i in range(200)]
+        parent = route_tenants_task(tenants, seed=0)
+        child = run_tasks(
+            [EvalTask(key="route", fn=route_tenants_task, args=(tenants,))],
+            processes=2,  # forces the fork pool even with a single task
+        )["route"]
+        assert parent == child
+
+    def test_remove_remaps_only_departed_shards_tenants(self):
+        shards = [f"shard-{i}" for i in range(4)]
+        tenants = [f"tenant-{i}" for i in range(2000)]
+        router = ConsistentHashRouter(shards)
+        before = router.assignment(tenants)
+        router.remove_shard("shard-2")
+        after = router.assignment(tenants)
+        moved = [t for t in tenants if before[t] != after[t]]
+        # Exactly the departed shard's tenants move, nobody else.
+        assert moved == [t for t in tenants if before[t] == "shard-2"]
+        # ... and they were ~1/N of the keyspace (generous ε for hash noise).
+        assert len(moved) / len(tenants) <= 1 / 4 + 0.10
+
+    def test_join_remaps_at_most_one_nth(self):
+        shards = [f"shard-{i}" for i in range(4)]
+        tenants = [f"tenant-{i}" for i in range(2000)]
+        router = ConsistentHashRouter(shards)
+        before = router.assignment(tenants)
+        router.add_shard("shard-4")
+        after = router.assignment(tenants)
+        moved = [t for t in tenants if before[t] != after[t]]
+        # Joiners only *take* tenants; nobody moves between survivors.
+        assert all(after[t] == "shard-4" for t in moved)
+        assert len(moved) / len(tenants) <= 1 / 5 + 0.10
+
+    def test_skew_bounded_under_zipf_traffic(self):
+        """Zipf-popular tenants spread across shards: no shard absorbs a
+        disproportionate share of request volume."""
+        shards = [f"shard-{i}" for i in range(4)]
+        router = ConsistentHashRouter(shards)
+        n_tenants = 2000
+        ranks = np.arange(1, n_tenants + 1, dtype=np.float64)
+        weights = ranks ** -1.1
+        weights /= weights.sum()
+        load = dict.fromkeys(shards, 0.0)
+        for i, w in enumerate(weights):
+            load[router.route(f"tenant-{i}")] += w
+        mean = 1.0 / len(shards)
+        assert max(load.values()) <= 2.0 * mean
+        # Plain tenant-count balance too (keyspace, unweighted).
+        counts = dict.fromkeys(shards, 0)
+        for i in range(n_tenants):
+            counts[router.route(f"tenant-{i}")] += 1
+        assert max(counts.values()) / (n_tenants / len(shards)) <= 1.6
+
+
+# -- telemetry merge ------------------------------------------------------------
+
+
+class TestMergeSnapshots:
+    def _snap(self, reqs, p99, count):
+        return {
+            "counters": {"requests_total": reqs},
+            "gauges": {"queue_depth": 1.0},
+            "histograms": {
+                "request_latency_seconds": {
+                    "count": count, "sum": 0.1 * count, "min": 0.001 if count else 0.0,
+                    "max": p99, "mean": 0.1 if count else 0.0,
+                    "p50": p99 / 2, "p95": p99, "p99": p99,
+                }
+            },
+        }
+
+    def test_counters_sum_quantiles_upper_bound(self):
+        merged = merge_snapshots([self._snap(10, 0.2, 5), self._snap(7, 0.8, 3)])
+        assert merged["shards"] == 2
+        assert merged["counters"]["requests_total"] == 17
+        assert merged["gauges"]["queue_depth"] == 2.0
+        hist = merged["histograms"]["request_latency_seconds"]
+        assert hist["count"] == 8
+        assert hist["sum"] == pytest.approx(0.8)
+        assert hist["p99"] == 0.8  # max across shards: conservative bound
+        assert hist["min"] == 0.001
+        assert hist["max"] == 0.8
+
+    def test_empty_shard_does_not_poison_min(self):
+        merged = merge_snapshots([self._snap(0, 0.0, 0), self._snap(5, 0.4, 5)])
+        hist = merged["histograms"]["request_latency_seconds"]
+        assert hist["count"] == 5
+        assert hist["min"] == 0.001
+
+    def test_prometheus_export(self):
+        merged = merge_snapshots([self._snap(10, 0.2, 5)])
+        text = merged_to_prometheus(merged)
+        assert "repro_fleet_shards 1" in text
+        assert "repro_fleet_requests_total 10" in text
+        assert 'repro_fleet_request_latency_seconds{quantile="0.99"}' in text
+
+
+# -- the fleet itself -----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def checkpointed(project_with_history, tmp_path_factory):
+    """A trained tiny predictor written as a registry-style checkpoint,
+    plus the plans it was trained on."""
+    records = project_with_history.repository.records[:80]
+    plans = [r.plan for r in records]
+    costs = [r.cpu_cost for r in records]
+    predictor = AdaptiveCostPredictor(config=TINY)
+    predictor.fit(plans, costs)
+    root = tmp_path_factory.mktemp("fleet-ckpt")
+    path = save_predictor(
+        predictor, root / "v1.npz", environment_features=ENV
+    )
+    return path, predictor, plans
+
+
+@needs_fork
+class TestServingFleet:
+    def test_matches_direct_service(self, checkpointed):
+        path, _predictor, plans = checkpointed
+        direct = CostInferenceService.from_checkpoint(path)
+        assert direct.environment_features == ENV
+        want = direct.predict(plans[:8], env_features=ENV)
+        with ServingFleet(path, n_workers=2) as fleet:
+            for tenant in ("alpha", "beta", "gamma"):
+                got = fleet.predict(tenant, plans[:8], env_features=ENV)
+                assert got.source == "learned" and got.reason == "ok"
+                np.testing.assert_allclose(got.costs, want, rtol=1e-5)
+
+    def test_encode_once_framing_and_sweep(self, checkpointed):
+        path, _predictor, plans = checkpointed
+        direct = CostInferenceService.from_checkpoint(path)
+        env2 = (0.2, 0.1, 0.3, 0.4)
+        with ServingFleet(path, n_workers=2) as fleet:
+            first = fleet.predict("t0", plans[:6], env_features=ENV, plans_key="s0")
+            again = fleet.predict("t0", plans[:6], env_features=ENV, plans_key="s0")
+            np.testing.assert_allclose(again.costs, first.costs, rtol=1e-6)
+            # One round trip scores the whole environment sweep.
+            sweep = fleet.predict_sweep(
+                "t0", plans[:6], [ENV, env2], plans_key="s0"
+            )
+            assert len(sweep) == 2
+            np.testing.assert_allclose(
+                sweep[1].costs, direct.predict(plans[:6], env_features=env2),
+                rtol=1e-5,
+            )
+            # Unknown key with plans=None triggers the need-plans resend:
+            # route a tenant to the *other* shard and reuse the key there.
+            shard0 = fleet.router.route("t0")
+            other = next(t for t in ("x1", "x2", "x3", "x4", "x5", "x6")
+                         if fleet.router.route(t) != shard0)
+            cross = fleet.predict(other, plans[:6], env_features=ENV, plans_key="s0")
+            np.testing.assert_allclose(cross.costs, first.costs, rtol=1e-6)
+
+    def test_staged_promote_converges_with_warm_caches(self, checkpointed):
+        path, predictor, plans = checkpointed
+        import copy
+
+        candidate = copy.deepcopy(predictor)
+        candidate.weights_version = 9
+        hot = plans[:6]
+        with ServingFleet(path, n_workers=2) as fleet:
+            # Prime both shards with traffic so their stats exist.
+            tenants = ["a", "b", "c", "d", "e", "f"]
+            for t in tenants:
+                fleet.predict(t, hot, env_features=ENV, plans_key="hot")
+            path2 = path.parent / "v2.npz"
+            save_predictor(candidate, path2, environment_features=ENV)
+            acked = fleet.promote(path2, warm=[(p, ENV) for p in hot])
+            assert set(acked) == {"shard-0", "shard-1"}
+            assert set(acked.values()) == {9}
+
+            # Zero cold misses on the first post-promote pass for warmed
+            # plans: the swap cleared both cache tiers, the warm list
+            # refilled them, so the pass below is all prediction-cache hits.
+            before = {s: snap["gauges"] for s, snap in fleet.stats()["shards"].items()}
+            for t in tenants:
+                r = fleet.predict(t, hot, env_features=ENV, plans_key="hot")
+                assert r.source == "learned"
+                assert r.model_version == 9
+            after = {s: snap["gauges"] for s, snap in fleet.stats()["shards"].items()}
+            for shard in acked:
+                miss_delta = (
+                    after[shard]["serving_prediction_cache_misses"]
+                    - before[shard]["serving_prediction_cache_misses"]
+                )
+                hit_delta = (
+                    after[shard]["serving_prediction_cache_hits"]
+                    - before[shard]["serving_prediction_cache_hits"]
+                )
+                assert miss_delta == 0
+                assert hit_delta > 0
+
+    def test_worker_crash_sheds_remaps_and_keeps_serving(self, checkpointed):
+        path, _predictor, plans = checkpointed
+        with ServingFleet(path, n_workers=3) as fleet:
+            victim_tenant = "crashy"
+            victim = fleet.router.route(victim_tenant)
+            survivor_tenant = next(
+                f"t{i}" for i in range(50) if fleet.router.route(f"t{i}") != victim
+            )
+            fleet.crash_worker(victim)
+            # The crashed shard's next request sheds to the parent fallback...
+            shed = fleet.predict(victim_tenant, plans[:4], env_features=ENV)
+            assert shed.source == "fallback" and shed.reason == "worker-crash"
+            assert np.isfinite(shed.costs).all()
+            # ...then its tenants remap to a survivor and serve learned again.
+            remapped = fleet.predict(victim_tenant, plans[:4], env_features=ENV)
+            assert remapped.source == "learned"
+            assert fleet.router.route(victim_tenant) != victim
+            # Other shards' tenants never noticed.
+            fine = fleet.predict(survivor_tenant, plans[:4], env_features=ENV)
+            assert fine.source == "learned"
+            # The event is visible in fleet telemetry and the merged export.
+            stats = fleet.stats()
+            assert stats["workers_alive"] == 2
+            assert stats["fleet"]["counters"]["worker_failures_total"] == 1
+            assert stats["fleet"]["counters"]["fallback_worker_crash_total"] == 1
+            assert victim not in stats["shards"]
+            prom = fleet.to_prometheus()
+            assert "repro_fleet_parent_worker_failures_total 1" in prom
+
+    def test_concurrent_tenants_across_shards(self, checkpointed):
+        path, _predictor, plans = checkpointed
+        direct = CostInferenceService.from_checkpoint(path)
+        want = direct.predict(plans[:5], env_features=ENV)
+        errors: list = []
+        with ServingFleet(path, n_workers=2) as fleet:
+            def drive(tenant):
+                try:
+                    for _ in range(5):
+                        r = fleet.predict(tenant, plans[:5], env_features=ENV,
+                                          plans_key="shared")
+                        np.testing.assert_allclose(r.costs, want, rtol=1e-5)
+                except Exception as exc:  # noqa: BLE001 — surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=drive, args=(f"tenant-{i}",))
+                       for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors
+            merged = fleet.stats()["merged"]
+            assert merged["counters"]["requests_total"] >= 40
+
+    def test_close_is_idempotent_and_refuses_after(self, checkpointed):
+        path, _predictor, plans = checkpointed
+        fleet = ServingFleet(path, n_workers=2)
+        assert fleet.predict("t", plans[:3], env_features=ENV).source == "learned"
+        fleet.close()
+        fleet.close()
+        late = fleet.predict("t", plans[:3], env_features=ENV)
+        assert late.source == "fallback" and late.reason == "closed"
+
+
+@needs_fork
+class TestLifecycleFleet:
+    def test_attach_fleet_ships_current_and_broadcasts_promotes(
+        self, checkpointed, tmp_path
+    ):
+        from repro.lifecycle.manager import ModelLifecycle
+
+        path, predictor, plans = checkpointed
+        lifecycle = ModelLifecycle(tmp_path / "registry")
+        lifecycle.bootstrap(predictor, environment_features=ENV)
+        with ServingFleet(None, n_workers=2) as fleet:
+            # Model-less fleet answers from fallback until attached.
+            cold = fleet.predict("t", plans[:3], env_features=ENV)
+            assert cold.reason == "no-model"
+            lifecycle.attach_fleet(fleet)
+            # attach ships the current checkpoint immediately...
+            warm = fleet.predict("t", plans[:3], env_features=ENV)
+            assert warm.source == "learned"
+            want = lifecycle.service.predict(plans[:3], env_features=ENV)
+            np.testing.assert_allclose(warm.costs, want, rtol=1e-5)
+            # ...and later promotions broadcast to every shard.
+            import copy
+
+            candidate = copy.deepcopy(predictor)
+            report, entry = lifecycle.submit_candidate(
+                candidate, environment_features=ENV
+            )
+            versions = {
+                snap["gauges"]["model_weights_version"]
+                for snap in fleet.stats()["shards"].values()
+            }
+            assert versions == {float(lifecycle.predictor.weights_version)}

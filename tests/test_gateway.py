@@ -712,6 +712,107 @@ class TestGatewayLearnedReal:
         gw.close()
 
 
+# -- shutdown drain -------------------------------------------------------------
+
+
+class TestGatewayClose:
+    def test_predict_after_close_answers_fallback_immediately(self, native_plans):
+        gw = OptimizerGateway(_StubService())
+        gw.close()
+        started = time.monotonic()
+        result = gw.predict(native_plans, env_features=ENV)
+        assert time.monotonic() - started < 1.0
+        assert result.fallback and result.reason == "closed"
+        expected = NativeCostFallback().predict(native_plans, env_features=ENV)
+        assert (result.costs == expected).all()
+        counters = gw.stats()["counters"]
+        assert counters["fallback_closed_total"] == 1
+
+    def test_close_drains_admitted_requests(self):
+        """Requests admitted before close() are still answered (learned when
+        the worker can finish them) — no caller is left stranded."""
+        class _StubFallback:
+            def predict(self, plans, *, env_features=None):
+                return np.array([-p.marker for p in plans], dtype=np.float64)
+
+        service = _StubService(delay=0.05)
+        gw = OptimizerGateway(service, fallback=_StubFallback())
+        results: list = []
+        lock = threading.Lock()
+
+        def caller(marker: float) -> None:
+            r = gw.predict(_marker_plans(marker))
+            with lock:
+                results.append(r)
+
+        threads = [threading.Thread(target=caller, args=(float(i),)) for i in range(6)]
+        for t in threads:
+            t.start()
+        time.sleep(0.01)  # let the first batch start, the rest queue up
+        gw.close()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads), "caller stranded across close()"
+        assert len(results) == 6
+        for r in results:
+            assert np.isfinite(np.asarray(r.costs)).all()
+
+    def test_close_fails_over_stuck_inflight_requests(self):
+        """A learned path stuck past the close timeout must not strand the
+        caller whose request it is holding: close() fails it over and the
+        caller answers from the fallback with reason ``closed``."""
+        release = threading.Event()
+
+        class _StuckService:
+            predictor = _StubPredictor()
+
+            def predict(self, plans, *, env_features=None):
+                release.wait(20.0)
+                return np.zeros(len(plans))
+
+        class _StubFallback:
+            def predict(self, plans, *, env_features=None):
+                return np.array([-p.marker for p in plans], dtype=np.float64)
+
+        gw = OptimizerGateway(_StuckService(), fallback=_StubFallback())
+        done: list = []
+
+        def caller() -> None:
+            done.append(gw.predict(_marker_plans(1.0)))
+
+        t = threading.Thread(target=caller)
+        t.start()
+        time.sleep(0.05)  # worker is now blocked inside the learned path
+        gw.close(timeout=0.2)
+        t.join(timeout=10.0)
+        release.set()  # unstick the daemon worker before the test exits
+        assert not t.is_alive(), "caller stranded on a stuck learned path"
+        assert done and done[0].fallback and done[0].reason == "closed"
+
+
+# -- queue-wait / service-time latency split ------------------------------------
+
+
+class TestLatencySplit:
+    def test_queue_wait_and_service_time_histograms(self):
+        service = _StubService(delay=0.02)
+        with OptimizerGateway(service) as gw:
+            for marker in (1.0, 2.0, 3.0):
+                assert gw.predict(_marker_plans(marker)).source == "learned"
+            snapshot = gw.stats()["histograms"]
+            assert snapshot["queue_wait_seconds"]["count"] == 3
+            assert snapshot["service_time_seconds"]["count"] == 3
+            # The split attributes the end-to-end latency: the stub sleeps
+            # 20 ms inside the learned path, so service time dominates and
+            # both halves are bounded by the request latency.
+            assert snapshot["service_time_seconds"]["p50"] >= 0.02
+            total = snapshot["request_latency_seconds"]
+            assert snapshot["queue_wait_seconds"]["p50"] <= total["max"]
+            prom = gw.to_prometheus()
+            assert "repro_queue_wait_seconds" in prom
+            assert "repro_service_time_seconds" in prom
+
+
 # -- lifecycle wiring -----------------------------------------------------------
 
 

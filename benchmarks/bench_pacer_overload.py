@@ -1,0 +1,351 @@
+"""Admission pacing under overload: BBR-style pacer vs the bounded queue.
+
+The serving pipe is made deliberately slow and narrow (a fixed per-batch
+delay, coalescing capped at one request per learned batch) so its capacity
+is known, then driven with an *open-loop* arrival schedule at ~3x that
+capacity — the paper's cloud-overload shape, where offered load does not
+politely slow down because the server queued.  Four phases:
+
+* **calibrate** — sequential requests measure the queue-free request
+  latency (the pacer's ``min_latency`` analogue, plus gateway overhead);
+* **unpaced peak** — closed-loop saturation with a deep queue and no
+  deadlines: the pipe's goodput ceiling (every answer counts, latency
+  does not);
+* **bufferbloat** — the status-quo config (deep queue, deadline budgets,
+  no pacer) under the 3x open-loop schedule: requests queue into latency
+  their deadline cannot afford, so almost every admitted request turns
+  into a deadline shed — the queue converts overload into wasted work;
+* **paced** — the same schedule through a BBR-paced gateway: requests
+  past the BDP-derived inflight cap shed *immediately* (reason
+  ``pacer-limit``), admitted requests ride a ~2-deep pipe, and p99 stays
+  near the queue-free latency while goodput holds the unpaced peak.
+
+Afterwards a hot swap must send the pacer back to STARTUP (capacity of
+the new model is unknown) and traffic must re-learn the estimates.
+
+Results land in ``BENCH_pacer.json`` (override: ``BENCH_PACER_OUT``).
+Gates: paced learned-answer p99 <= 2x measured queue-free latency; paced
+goodput >= 0.9x the unpaced peak; paced shed rate below the bufferbloat
+baseline's; every request answered finite; post-swap STARTUP observed and
+reconverged.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_banner
+from repro.core.explorer import PlanExplorer
+from repro.core.predictor import AdaptiveCostPredictor, PredictorConfig
+from repro.evaluation.projects import evaluation_profiles
+from repro.evaluation.reporting import format_table
+from repro.gateway import GatewayConfig, OptimizerGateway
+from repro.pacing import STARTUP, PacerConfig
+from repro.serving import CostInferenceService
+from repro.warehouse.workload import generate_project
+
+#: Fixed learned-path delay per batch: the pipe's known bottleneck.
+SERVICE_DELAY_S = 0.020
+
+#: Offered load relative to the pipe's capacity (the ISSUE's 3x overload).
+OVERLOAD = 3.0
+
+#: Measured open-loop window and its warmup (pacer convergence) prefix.
+MEASURE_SECONDS = 4.0
+WARMUP_SECONDS = 1.5
+
+#: Caller threads servicing the open-loop arrival schedule.
+N_THREADS = 12
+
+#: Pacer tuned for the known pipe shape: with one request per batch the
+#: BDP is exactly 1, so cwnd_gain 1.5 yields an inflight cap of 2 in every
+#: PROBE_BW phase (one serving, at most one queued).  Rate pacing at a
+#: hair under the bottleneck rate is what holds p99 near the queue-free
+#: latency: admissions ride the pipe's own cadence, so the backstop slot
+#: is rarely occupied and any probe-built queue drains between phases.
+PACER = PacerConfig(
+    cwnd_gain=1.5,
+    initial_cap=2,
+    probe_rtt_duration_seconds=0.1,
+    pace_admissions=True,
+    pacing_margin=0.99,
+)
+
+
+@pytest.fixture(scope="module")
+def pacer_setup(scale):
+    profile = evaluation_profiles()[0]
+    workload = generate_project(profile, horizon_days=4)
+    workload.simulate_history(3, max_queries_per_day=40)
+    records = workload.repository.deduplicated(workload.repository.records)
+    records = records[: min(len(records), scale.max_training_queries)]
+    predictor = AdaptiveCostPredictor(
+        config=PredictorConfig(epochs=max(3, scale.predictor_epochs // 3))
+    )
+    predictor.fit([r.plan for r in records], [r.cpu_cost for r in records])
+    explorer = PlanExplorer(workload.optimizer)
+    plans = None
+    for record in records:
+        candidates = explorer.candidates(record.plan.query, top_k=5)
+        if len(candidates) >= 2:
+            plans = candidates
+            break
+    assert plans is not None, "no multi-candidate query in the workload"
+    return predictor, plans
+
+
+class _SlowService:
+    """Fixed-delay proxy: the pipe's bottleneck is known by construction."""
+
+    def __init__(self, service, delay: float) -> None:
+        self._service = service
+        self._delay = delay
+        self.predictor = service.predictor
+
+    def predict(self, plans, *, env_features=None):
+        time.sleep(self._delay)
+        return self._service.predict(plans, env_features=env_features)
+
+    def swap_predictor(self, predictor) -> None:
+        self._service.swap_predictor(predictor)
+
+
+def _gateway_config(plans, **overrides) -> GatewayConfig:
+    # max_coalesce_plans == len(plans): exactly one request per learned
+    # batch, so the pipe's service rate is 1/SERVICE_DELAY_S by design.
+    defaults = dict(max_coalesce_plans=len(plans), coalesce_window_ms=0.0)
+    defaults.update(overrides)
+    return GatewayConfig(**defaults)
+
+
+def _open_loop(gateway, plans, *, rate_per_sec, seconds, deadline_ms):
+    """Fire requests on a fixed arrival schedule at ``rate_per_sec`` for
+    ``seconds`` (open loop: arrivals do not slow down because the server
+    is busy), and tally outcomes."""
+    n = max(1, int(rate_per_sec * seconds))
+    start = time.perf_counter() + 0.05
+    cursor = {"i": 0}
+    lock = threading.Lock()
+    results = [None] * n
+    latencies = [0.0] * n
+
+    def caller():
+        while True:
+            with lock:
+                i = cursor["i"]
+                if i >= n:
+                    return
+                cursor["i"] = i + 1
+            wait = start + i / rate_per_sec - time.perf_counter()
+            if wait > 0:
+                time.sleep(wait)
+            t0 = time.perf_counter()
+            results[i] = gateway.predict(plans, deadline_ms=deadline_ms)
+            latencies[i] = time.perf_counter() - t0
+
+    threads = [threading.Thread(target=caller) for _ in range(N_THREADS)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    elapsed = time.perf_counter() - start
+    assert all(r is not None for r in results)
+    assert all(np.isfinite(r.costs).all() for r in results)
+    learned = [
+        lat for lat, r in zip(latencies, results) if r.source == "learned"
+    ]
+    learned.sort()
+    n_learned = len(learned)
+    return {
+        "requests": n,
+        "offered_per_sec": rate_per_sec,
+        "elapsed_seconds": elapsed,
+        "learned": n_learned,
+        "goodput_per_sec": n_learned / elapsed,
+        "learned_p50_ms": 1e3 * learned[int(0.50 * (n_learned - 1))] if learned else 0.0,
+        "learned_p99_ms": 1e3 * learned[int(0.99 * (n_learned - 1))] if learned else 0.0,
+        "shed_rate": (n - n_learned) / n,
+    }
+
+
+def test_pacer_overload(benchmark, pacer_setup, scale):
+    predictor, plans = pacer_setup
+    service = CostInferenceService(predictor)
+
+    def run():
+        slow = _SlowService(service, SERVICE_DELAY_S)
+
+        # Calibrate: queue-free request latency through an idle gateway.
+        with OptimizerGateway(slow, config=_gateway_config(plans)) as gw:
+            waits = []
+            for _ in range(30):
+                t0 = time.perf_counter()
+                r = gw.predict(plans)
+                waits.append(time.perf_counter() - t0)
+                assert r.source == "learned"
+            waits.sort()
+        queue_free_ms = 1e3 * waits[int(0.95 * (len(waits) - 1))]
+        capacity = 1.0 / (queue_free_ms / 1e3)
+        offered = OVERLOAD * capacity
+        deadline_ms = 2.5 * queue_free_ms
+
+        # Unpaced peak: closed-loop saturation, no deadlines — the pipe's
+        # goodput ceiling.
+        with OptimizerGateway(slow, config=_gateway_config(plans)) as gw:
+            n_peak = int(2.0 * capacity)
+            done = [0]
+            lock = threading.Lock()
+
+            def pump():
+                while True:
+                    with lock:
+                        if done[0] >= n_peak:
+                            return
+                        done[0] += 1
+                    gw.predict(plans)
+
+            t0 = time.perf_counter()
+            threads = [threading.Thread(target=pump) for _ in range(8)]
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+            peak_elapsed = time.perf_counter() - t0
+            peak = {
+                "requests": n_peak,
+                "goodput_per_sec": n_peak / peak_elapsed,
+            }
+
+        # Bufferbloat baseline: deep queue + deadlines, no pacer.  The 3x
+        # schedule queues requests into latency their budget cannot
+        # afford; nearly everything becomes a deadline shed.
+        with OptimizerGateway(slow, config=_gateway_config(plans)) as gw:
+            bloat = _open_loop(
+                gw, plans,
+                rate_per_sec=offered, seconds=MEASURE_SECONDS,
+                deadline_ms=deadline_ms,
+            )
+            counters = gw.stats()["counters"]
+            bloat["sheds"] = counters.get("sheds_total", 0.0)
+            bloat["shed_deadline"] = counters.get("shed_deadline_total", 0.0)
+            bloat["shed_queue_full"] = counters.get("shed_queue_full_total", 0.0)
+
+        # Paced: same schedule, BBR admission control.  Warmup lets the
+        # pacer converge out of STARTUP before the measured window.
+        with OptimizerGateway(
+            slow, config=_gateway_config(plans, pacer=PACER)
+        ) as gw:
+            _open_loop(
+                gw, plans,
+                rate_per_sec=offered, seconds=WARMUP_SECONDS,
+                deadline_ms=deadline_ms,
+            )
+            warm_stats = gw.stats()["pacer"]
+            paced = _open_loop(
+                gw, plans,
+                rate_per_sec=offered, seconds=MEASURE_SECONDS,
+                deadline_ms=deadline_ms,
+            )
+            counters = gw.stats()["counters"]
+            pacer_stats = gw.stats()["pacer"]
+            paced["sheds"] = counters.get("sheds_total", 0.0)
+            paced["shed_pacer_limit"] = counters.get("shed_pacer_limit_total", 0.0)
+            paced["shed_deadline"] = counters.get("shed_deadline_total", 0.0)
+            paced["pacer"] = {
+                "state": pacer_stats["state"],
+                "btl_rate": pacer_stats["btl_rate"],
+                "min_latency_seconds": pacer_stats["min_latency_seconds"],
+                "inflight_cap": pacer_stats["inflight_cap"],
+                "state_entries": pacer_stats["state_entries"],
+            }
+            paced["converged_before_measurement"] = warm_stats["state"] != STARTUP
+
+            # Hot swap (the promote path): capacity of the new model is
+            # unknown, so the pacer must re-enter STARTUP and re-learn.
+            swapped = copy.deepcopy(predictor)
+            swapped.weights_version = getattr(predictor, "weights_version", 0) + 1
+            gw.swap_predictor(swapped)
+            after_swap = gw.stats()["pacer"]
+            for _ in range(10):
+                gw.predict(plans)
+            reconverged = gw.stats()["pacer"]
+            post_promote = {
+                "state_after_swap": after_swap["state"],
+                "resets_total": after_swap["resets_total"],
+                "estimates_cleared": after_swap["btl_rate"] is None,
+                "btl_rate_reconverged": reconverged["btl_rate"],
+            }
+
+        return queue_free_ms, deadline_ms, peak, bloat, paced, post_promote
+
+    queue_free_ms, deadline_ms, peak, bloat, paced, post_promote = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+
+    print_banner("Admission pacing under 3x open-loop overload")
+    rows = [
+        [
+            "bufferbloat",
+            f"{bloat['goodput_per_sec']:,.1f}",
+            f"{bloat['learned_p99_ms']:.1f}",
+            f"{bloat['shed_rate']:.0%}",
+            f"{bloat['shed_deadline']:.0f} deadline",
+        ],
+        [
+            "paced",
+            f"{paced['goodput_per_sec']:,.1f}",
+            f"{paced['learned_p99_ms']:.1f}",
+            f"{paced['shed_rate']:.0%}",
+            f"{paced['shed_pacer_limit']:.0f} pacer-limit",
+        ],
+    ]
+    print(format_table(
+        ["scheme", "goodput/s", "learned p99 ms", "shed rate", "sheds by reason"],
+        rows,
+    ))
+    print(
+        f"queue-free {queue_free_ms:.1f} ms, deadline {deadline_ms:.1f} ms, "
+        f"unpaced peak {peak['goodput_per_sec']:,.1f}/s; post-swap pacer "
+        f"{post_promote['state_after_swap']} "
+        f"(resets {post_promote['resets_total']:.0f})"
+    )
+
+    artifact = {
+        "scale": scale.name,
+        "service_delay_ms": 1e3 * SERVICE_DELAY_S,
+        "overload": OVERLOAD,
+        "queue_free_ms": queue_free_ms,
+        "deadline_ms": deadline_ms,
+        "unpaced_peak": peak,
+        "bufferbloat": bloat,
+        "paced": paced,
+        "post_promote": post_promote,
+        "paced_p99_vs_queue_free": paced["learned_p99_ms"] / queue_free_ms,
+        "paced_goodput_vs_peak": paced["goodput_per_sec"] / peak["goodput_per_sec"],
+    }
+    out_path = os.environ.get("BENCH_PACER_OUT", "BENCH_pacer.json")
+    with open(out_path, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+    print(f"wrote {out_path}")
+
+    # Acceptance gates (ISSUE 8).
+    # Overload p99 held near the queue-free latency: the BBR claim.
+    assert artifact["paced_p99_vs_queue_free"] <= 2.0, artifact
+    # ... without sacrificing goodput against the unpaced ceiling.
+    assert artifact["paced_goodput_vs_peak"] >= 0.9, artifact
+    # Pacing sheds less than the deadline-churning deep queue.
+    assert paced["shed_rate"] < bloat["shed_rate"], artifact
+    assert paced["shed_pacer_limit"] >= 1, artifact
+    # The hot swap re-probes: STARTUP with cleared estimates, then
+    # reconverges from fresh traffic.
+    assert post_promote["state_after_swap"] == STARTUP, artifact
+    assert post_promote["resets_total"] >= 1, artifact
+    assert post_promote["estimates_cleared"], artifact
+    assert post_promote["btl_rate_reconverged"] is not None, artifact

@@ -11,10 +11,13 @@
 # chaos-phase fallback rate and breaker trips, overload shed rate), the
 # sharded fleet benchmark (BENCH_fleet.json: multi-process throughput vs
 # the single-gateway baseline, per-shard latency/hit rates, staged
-# promote convergence, worker-crash containment), and the fig11
+# promote convergence, worker-crash containment), the admission-pacing
+# benchmark (BENCH_pacer.json: BBR-paced gateway vs bufferbloat baseline
+# under 3x open-loop overload — p99 vs queue-free latency, goodput vs the
+# unpaced peak, shed rates, post-swap STARTUP re-probe), and the fig11
 # adaptive-training scenario routed through the model lifecycle
 # subsystem (registry + feedback + drift + canary), so successive PRs can
-# track all five trajectories.
+# track all six trajectories.
 #
 # Usage:
 #   benchmarks/run_bench.sh                  # artifacts -> benchmarks/BENCH_*.json
@@ -30,6 +33,7 @@ export BENCH_SERVING_OUT="${BENCH_SERVING_OUT:-${REPO_ROOT}/benchmarks/BENCH_ser
 export BENCH_TRAINING_OUT="${BENCH_TRAINING_OUT:-${REPO_ROOT}/benchmarks/BENCH_training.json}"
 export BENCH_GATEWAY_OUT="${BENCH_GATEWAY_OUT:-${REPO_ROOT}/benchmarks/BENCH_gateway.json}"
 export BENCH_FLEET_OUT="${BENCH_FLEET_OUT:-${REPO_ROOT}/benchmarks/BENCH_fleet.json}"
+export BENCH_PACER_OUT="${BENCH_PACER_OUT:-${REPO_ROOT}/benchmarks/BENCH_pacer.json}"
 
 echo "== tier-1 tests (REPRO_SCALE=${REPRO_SCALE}) =="
 python -m pytest "${REPO_ROOT}/tests" -x -q
@@ -57,6 +61,14 @@ echo "== fleet throughput benchmark =="
 echo
 echo "== fleet self-check (shards, promote, crash remap) =="
 python -m repro fleet
+
+echo
+echo "== admission pacing benchmark (BBR pacer vs bufferbloat under overload) =="
+(cd "${REPO_ROOT}/benchmarks" && python -m pytest bench_pacer_overload.py -q -s)
+
+echo
+echo "== pacer self-check (state machine + overload + swap re-probe) =="
+python -m repro pacer
 
 echo
 echo "== fig11 adaptive training through the model lifecycle =="
@@ -109,6 +121,24 @@ print(
     f"chaos fallback {artifact['chaos']['fallback_rate']:.0%} with "
     f"{artifact['chaos']['breaker_trips']:.0f} breaker trip(s), "
     f"shed {artifact['shed']['shed']:.0f}/{artifact['shed']['requests']}"
+)
+EOF
+echo "${BENCH_PACER_OUT}"
+python - "${BENCH_PACER_OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    artifact = json.load(fh)
+paced = artifact["paced"]
+bloat = artifact["bufferbloat"]
+print(
+    f"paced p99 {paced['learned_p99_ms']:.1f} ms "
+    f"({artifact['paced_p99_vs_queue_free']:.2f}x queue-free "
+    f"{artifact['queue_free_ms']:.1f} ms), goodput "
+    f"{paced['goodput_per_sec']:,.1f}/s "
+    f"({artifact['paced_goodput_vs_peak']:.2f}x unpaced peak), shed "
+    f"{paced['shed_rate']:.0%} pacer-limit vs bufferbloat "
+    f"{bloat['shed_rate']:.0%} deadline-churn; post-swap pacer "
+    f"{artifact['post_promote']['state_after_swap']}"
 )
 EOF
 echo "${BENCH_FLEET_OUT}"

@@ -24,7 +24,16 @@ Commands
               request must still answer, from the native fallback, and the
               circuit breaker must trip and raise a drift signal), recovery
               through half-open probes, and a hot swap resetting the
-              breaker.  Exits non-zero if any guardrail misbehaves.
+              breaker.  Exits non-zero if any guardrail misbehaves;
+``pacer``     run the BBR-style admission-pacing self-check: first a
+              deterministic fake-clock walk through the pacer state
+              machine (STARTUP growth, DRAIN, PROBE_BW gain cycling,
+              PROBE_RTT, reset), then a real gateway under thread
+              overload — excess load must shed with reason
+              ``pacer-limit``, admitted traffic must converge the
+              rate/latency estimators out of STARTUP, and a hot swap
+              must re-enter STARTUP and re-learn.  Exits non-zero if
+              any check fails.
 
 All commands are deterministic given ``--seed`` (the ``gateway`` command's
 traffic is concurrent, so request *interleaving* — not results — may vary).
@@ -91,6 +100,15 @@ def _build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--threads", type=int, default=8, help="concurrent callers")
     gateway.add_argument(
         "--requests", type=int, default=6, help="requests per caller thread"
+    )
+
+    pacer = sub.add_parser(
+        "pacer",
+        help="admission-pacing self-check: state machine + gateway overload",
+    )
+    pacer.add_argument("--threads", type=int, default=8, help="overload caller threads")
+    pacer.add_argument(
+        "--seconds", type=float, default=1.5, help="overload traffic duration"
     )
     return parser
 
@@ -649,6 +667,191 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pacer(args: argparse.Namespace) -> int:
+    """Admission-pacing smoke: the BBR-style state machine must walk
+    STARTUP -> DRAIN -> PROBE_BW -> PROBE_RTT deterministically on a fake
+    clock, and a real gateway under thread overload must shed the excess
+    with reason ``pacer-limit``, converge its estimators, leak no inflight
+    slots, and re-enter STARTUP on a hot swap.  Suitable as a CI job;
+    exits non-zero on any violation."""
+    import copy
+    import threading
+    import time
+
+    from repro.core.explorer import PlanExplorer
+    from repro.core.predictor import AdaptiveCostPredictor, PredictorConfig
+    from repro.gateway import GatewayConfig, OptimizerGateway
+    from repro.pacing import (
+        DRAIN,
+        PROBE_BW,
+        PROBE_RTT,
+        STARTUP,
+        AdmissionPacer,
+        PacerConfig,
+    )
+    from repro.serving import CostInferenceService
+    from repro.warehouse.workload import ProjectProfile, generate_project
+
+    failures: list[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(("  ok   " if ok else "  FAIL ") + what)
+        if not ok:
+            failures.append(what)
+
+    print("[1] state machine on an injected clock")
+
+    class _Clock:
+        t = 0.0
+
+        def __call__(self) -> float:
+            return self.t
+
+        def advance(self, dt: float) -> None:
+            self.t += dt
+
+    clock = _Clock()
+    pacer = AdmissionPacer(
+        PacerConfig(
+            probe_bw_phase_seconds=1.0,
+            probe_rtt_interval_seconds=5.0,
+            probe_rtt_duration_seconds=0.25,
+            startup_full_rounds=3,
+            initial_cap=4,
+        ),
+        clock=clock,
+    )
+    check(pacer.state == STARTUP and pacer.inflight_cap() == 4,
+          "boots in STARTUP at the initial cap")
+    admitted = 0
+    while pacer.try_admit():
+        admitted += 1
+    check(admitted == 4, "admits up to the cap, then denies")
+    pacer.on_delivered(1, elapsed_seconds=0.1)
+    pacer.on_delivered(1, elapsed_seconds=0.1)
+    check(pacer.btl_rate() == 10.0 and pacer.bdp() == 1.0,
+          "deliveries feed the rate/latency estimators (BDP 1)")
+    pacer.try_admit()
+    pacer.try_admit()
+    pacer.on_delivered(1, elapsed_seconds=0.1)
+    pacer.on_delivered(1, elapsed_seconds=0.1)
+    check(pacer.state == DRAIN, "rate plateau ends STARTUP -> DRAIN")
+    pacer.release(2)
+    check(pacer.state == PROBE_BW and pacer.inflight_cap() == 3,
+          "inflight drained to BDP -> PROBE_BW probing up")
+    clock.advance(1.0)
+    check(pacer.inflight_cap() == 2, "gain cycle advances on the phase clock")
+    clock.advance(5.0)
+    check(pacer.state == PROBE_RTT and pacer.inflight_cap() == 1,
+          "stale latency estimate -> PROBE_RTT at the floor cap")
+    clock.advance(0.25)
+    check(pacer.state == PROBE_BW,
+          "PROBE_RTT pass re-validates the estimate, back to PROBE_BW")
+    pacer.reset()
+    check(pacer.state == STARTUP and pacer.btl_rate() is None,
+          "reset clears estimates and re-enters STARTUP")
+
+    print("\n[2] real gateway under thread overload (slow pipe, real plans)")
+    profile = ProjectProfile(
+        name="cli-pacer", seed=args.seed, n_tables=10, n_templates=8,
+        stats_availability=0.2, row_scale=3e5, n_machines=60,
+    )
+    workload = generate_project(profile)
+    workload.simulate_history(3, max_queries_per_day=30)
+    records = workload.repository.deduplicated(workload.repository.records)[:200]
+    predictor = AdaptiveCostPredictor(config=PredictorConfig(epochs=3))
+    predictor.fit([r.plan for r in records], [r.cpu_cost for r in records])
+    explorer = PlanExplorer(workload.optimizer)
+    plans = None
+    for record in records:
+        candidates = explorer.candidates(record.plan.query, top_k=5)
+        if len(candidates) >= 2:
+            plans = candidates
+            break
+    if plans is None:
+        print("ERROR: no multi-candidate query in the workload", file=sys.stderr)
+        return 1
+
+    class _Slow:
+        def __init__(self, service, delay: float) -> None:
+            self._service = service
+            self._delay = delay
+            self.predictor = service.predictor
+
+        def predict(self, batch, *, env_features=None):
+            time.sleep(self._delay)
+            return self._service.predict(batch, env_features=env_features)
+
+        def swap_predictor(self, new) -> None:
+            self._service.swap_predictor(new)
+
+    service = _Slow(CostInferenceService(predictor), 0.008)
+    gateway = OptimizerGateway(
+        service,
+        config=GatewayConfig(
+            max_coalesce_plans=len(plans),
+            coalesce_window_ms=0.0,
+            pacer=PacerConfig(cwnd_gain=1.5, initial_cap=2),
+        ),
+    )
+    stop_at = time.perf_counter() + args.seconds
+    results: list = []
+    lock = threading.Lock()
+
+    def hammer() -> None:
+        while time.perf_counter() < stop_at:
+            r = gateway.predict(plans)
+            with lock:
+                results.append(r)
+
+    threads = [threading.Thread(target=hammer) for _ in range(args.threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    counters = gateway.stats()["counters"]
+    pstats = gateway.stats()["pacer"]
+    learned = sum(r.source == "learned" for r in results)
+    sheds = counters.get("shed_pacer_limit_total", 0.0)
+    check(all(np.isfinite(r.costs).all() and len(r.costs) for r in results),
+          f"every request answered finite costs ({len(results)} total)")
+    check(learned > 0, f"admitted traffic served learned answers ({learned})")
+    check(sheds >= 1, f"excess load shed with reason pacer-limit ({sheds:.0f})")
+    check(pstats["state"] != STARTUP,
+          f"pacer converged out of STARTUP (now {pstats['state']})")
+    check(pstats["btl_rate"] is not None
+          and pstats["min_latency_seconds"] is not None,
+          "bottleneck rate and min latency measured")
+    check(gateway.pacer.inflight == 0, "no inflight slots leaked")
+    if pstats["btl_rate"] is not None:
+        print(f"  pipe estimate: {pstats['btl_rate']:.0f} req/s x "
+              f"{1e3 * pstats['min_latency_seconds']:.1f} ms "
+              f"-> inflight cap {pstats['inflight_cap']}")
+
+    print("\n[3] hot swap: the pacer re-probes the new model from STARTUP")
+    swapped = copy.deepcopy(predictor)
+    swapped.weights_version = getattr(predictor, "weights_version", 0) + 1
+    gateway.swap_predictor(swapped)
+    pstats = gateway.stats()["pacer"]
+    check(pstats["state"] == STARTUP and pstats["resets_total"] >= 1,
+          "swap reset the pacer to STARTUP")
+    check(pstats["btl_rate"] is None, "swap cleared the learned estimates")
+    for _ in range(8):
+        gateway.predict(plans)
+    pstats = gateway.stats()["pacer"]
+    check(pstats["btl_rate"] is not None,
+          "fresh traffic re-learned the bottleneck rate")
+    gateway.close()
+
+    if failures:
+        print(f"\nERROR: {len(failures)} pacer check(s) failed:", file=sys.stderr)
+        for what in failures:
+            print(f"  - {what}", file=sys.stderr)
+        return 1
+    print("\npacer self-check: all checks passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     np.random.seed(args.seed)  # legacy global, for any stray consumers
@@ -660,6 +863,7 @@ def main(argv: list[str] | None = None) -> int:
         "fleet": _cmd_fleet,
         "lifecycle": _cmd_lifecycle,
         "gateway": _cmd_gateway,
+        "pacer": _cmd_pacer,
     }
     return handlers[args.command](args)
 

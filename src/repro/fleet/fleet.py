@@ -43,6 +43,8 @@ from repro.fleet.router import ConsistentHashRouter
 from repro.fleet.telemetry import merge_snapshots, merged_to_prometheus
 from repro.fleet.worker import fleet_worker_main
 from repro.gateway import GatewayResult, NativeCostFallback, Telemetry
+from repro.gateway.telemetry import SHED_REASONS
+from repro.pacing import AdmissionPacer, PacerConfig
 
 __all__ = ["ServingFleet", "WorkerCrashError"]
 
@@ -88,6 +90,7 @@ class ServingFleet:
         rpc_timeout: float = 60.0,
         fallback: NativeCostFallback | None = None,
         telemetry: Telemetry | None = None,
+        pacer_config: PacerConfig | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -124,6 +127,20 @@ class ServingFleet:
             process.start()
             child_conn.close()
             self._workers[name] = _WorkerHandle(name, process, parent_conn)
+        # One admission pacer per shard (parent side): each shard is its own
+        # pipe with its own capacity, so each gets its own BBR estimators.
+        # A crash remaps tenants to survivors whose pacers keep their learned
+        # estimates; a staged promote resets every pacer back to STARTUP.
+        self._pacers: dict[str, AdmissionPacer] = {}
+        if pacer_config is not None:
+            self._pacers = {
+                name: AdmissionPacer(
+                    pacer_config,
+                    telemetry=self.telemetry,
+                    name=f"pacer_{name.replace('-', '_')}",
+                )
+                for name in self._workers
+            }
         self.router = ConsistentHashRouter(self._workers, replicas=replicas)
         self.telemetry.gauge("workers_alive", "live fleet workers").set(n_workers)
 
@@ -238,8 +255,12 @@ class ServingFleet:
             handle = self._workers[shard]
             if not handle.alive:
                 continue
+            pacer = self._pacers.get(shard)
+            if pacer is not None and not pacer.try_admit():
+                return self._shed(plans, envs, started, reason="pacer-limit")
             send_plans = plans if plans_key is None or plans_key not in handle.sent_keys else None
             req_id = self._next_req_id()
+            rpc_started = time.monotonic()
             try:
                 reply = self._rpc(
                     handle,
@@ -254,7 +275,16 @@ class ServingFleet:
                         ("predict", req_id, plans_key, plans, envs, deadline_ms),
                     )
             except WorkerCrashError:
+                if pacer is not None:
+                    # A crashed RPC measures nothing; hand back the slot.
+                    pacer.release()
                 return self._shed(plans, envs, started, reason="worker-crash")
+            if pacer is not None:
+                # The whole round trip (including a need-plans resend — that
+                # cost is real admission cost) is one delivery sample.
+                pacer.on_delivered(
+                    1, elapsed_seconds=time.monotonic() - rpc_started
+                )
             if plans_key is not None:
                 handle.sent_keys.add(plans_key)
             latency_ms = 1e3 * (time.monotonic() - started)
@@ -275,6 +305,8 @@ class ServingFleet:
         self.telemetry.counter(
             f"fallback_{reason.replace('-', '_')}_total", f"fleet fallbacks: {reason}"
         ).inc()
+        if reason in SHED_REASONS:
+            self.telemetry.record_shed(reason)
         latency_ms = 1e3 * (time.monotonic() - started)
         return [
             GatewayResult(
@@ -313,6 +345,14 @@ class ServingFleet:
             raise RuntimeError("promote with no live workers")
         if len(set(acked.values())) != 1:
             raise RuntimeError(f"fleet diverged after promote: {acked}")
+        # Every shard is now serving a different model — its old delivery
+        # rate / latency estimates describe a path that no longer exists.
+        # Re-enter STARTUP and re-learn the pipe, exactly as BBR re-probes
+        # after a route change.
+        for name in acked:
+            pacer = self._pacers.get(name)
+            if pacer is not None:
+                pacer.reset()
         self.telemetry.counter("promotes_total", "staged fleet promotes").inc()
         self.telemetry.gauge(
             "model_weights_version", "weights_version every shard converged to"
@@ -357,13 +397,20 @@ class ServingFleet:
                 continue
             shards[name] = reply[2]
         merged = merge_snapshots(list(shards.values()))
-        return {
+        out = {
             "workers_alive": len(self.live_workers()),
             "workers_total": len(self._workers),
             "fleet": self.telemetry.snapshot(),
             "shards": shards,
             "merged": merged,
         }
+        if self._pacers:
+            out["pacers"] = {
+                name: pacer.stats()
+                for name, pacer in self._pacers.items()
+                if self._workers[name].alive
+            }
+        return out
 
     def to_prometheus(self) -> str:
         """One text exposition: merged per-shard metrics under

@@ -11,10 +11,15 @@ merge rules per instrument kind:
   meaningful per shard; their sum reads as "number of degraded shards"
   weighted by severity, which is the alarm an operator wants anyway.)
 * **histograms** — ``count``/``sum`` are summed exactly and ``min``/
-  ``max`` combined exactly; quantiles cannot be merged exactly from
-  summaries, so the merged pXX is the **max across shards** — a
-  conservative (pessimistic) bound.  A merged p99 that looks fine
-  guarantees every shard's p99 is fine.
+  ``max`` combined exactly.  When every contributing shard ships its raw
+  reservoir (``Telemetry.snapshot(include_samples=True)``, which the
+  fleet worker's ``stats`` RPC does), the merged pXX is computed
+  **exactly** from the concatenated samples — the fleet-level p99 is the
+  p99 of the fleet's recent observations, not an upper bound.  When any
+  shard's summary arrives without samples, the merge falls back to the
+  conservative rule: merged pXX is the **max across shards** — a
+  pessimistic bound (a merged p99 that looks fine guarantees every
+  shard's p99 is fine).
 
 The merged snapshot exports in the same JSON shape as a single gateway's
 ``Telemetry.snapshot()`` plus a ``shards`` count, and to Prometheus text
@@ -32,19 +37,35 @@ _QUANTILE_KEYS = tuple(f"p{int(q * 100)}" for q in QUANTILES)
 
 def merge_snapshots(snapshots: list[dict]) -> dict:
     """Combine per-worker telemetry snapshots (``Telemetry.snapshot()``
-    shape; extra keys like ``breaker`` are ignored) into one."""
+    shape; extra keys like ``breaker`` are ignored) into one.
+
+    Histograms whose every non-empty contributor carries raw ``samples``
+    get exact merged quantiles (recomputed over the concatenation, same
+    nearest-rank rule as :class:`~repro.gateway.telemetry.Histogram`);
+    the merged histogram keeps the combined ``samples`` so a merge of
+    merges stays exact.  Otherwise quantiles degrade to the max-across-
+    shards bound and ``samples`` is dropped.
+    """
     merged: dict = {
         "shards": len(snapshots),
         "counters": {},
         "gauges": {},
         "histograms": {},
     }
+    #: name -> (concatenated samples, still-exact flag)
+    reservoirs: dict[str, tuple[list, bool]] = {}
     for snap in snapshots:
         for name, value in snap.get("counters", {}).items():
             merged["counters"][name] = merged["counters"].get(name, 0.0) + value
         for name, value in snap.get("gauges", {}).items():
             merged["gauges"][name] = merged["gauges"].get(name, 0.0) + value
         for name, hist in snap.get("histograms", {}).items():
+            samples, exact = reservoirs.get(name, ([], True))
+            if hist["count"] and "samples" not in hist:
+                exact = False  # a lossy summary poisons the exact merge
+            else:
+                samples = samples + list(hist.get("samples", ()))
+            reservoirs[name] = (samples, exact)
             out = merged["histograms"].get(name)
             if out is None:
                 merged["histograms"][name] = dict(hist)
@@ -60,6 +81,15 @@ def merge_snapshots(snapshots: list[dict]) -> dict:
             for key in _QUANTILE_KEYS:
                 out[key] = max(out[key], hist[key])
             out["mean"] = out["sum"] / out["count"] if out["count"] else 0.0
+    for name, (samples, exact) in reservoirs.items():
+        out = merged["histograms"][name]
+        if exact and samples:
+            ordered = sorted(samples)
+            for q, key in zip(QUANTILES, _QUANTILE_KEYS):
+                out[key] = ordered[int(q * (len(ordered) - 1))]
+            out["samples"] = ordered
+        else:
+            out.pop("samples", None)
     return merged
 
 

@@ -122,7 +122,9 @@ def fleet_worker_main(
                 )
 
             elif kind == "stats":
-                conn.send(("stats", req_id, gateway.stats()))
+                # Raw histogram reservoirs ride along so the parent's merge
+                # can compute exact fleet-level quantiles, not a max bound.
+                conn.send(("stats", req_id, gateway.stats(include_samples=True)))
 
             elif kind == "ping":
                 conn.send(("pong", req_id, worker_id, seed))

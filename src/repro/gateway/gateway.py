@@ -48,6 +48,7 @@ import numpy as np
 from repro.gateway.breaker import BreakerConfig, CircuitBreaker
 from repro.gateway.fallback import NativeCostFallback
 from repro.gateway.telemetry import Telemetry
+from repro.pacing import AdmissionPacer, PacerConfig
 
 __all__ = ["GatewayClosedError", "GatewayConfig", "GatewayResult", "OptimizerGateway"]
 
@@ -80,6 +81,13 @@ class GatewayConfig:
     default_deadline_ms: float | None = None
     #: Circuit-breaker thresholds for the learned path.
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    #: BBR-style admission pacing (:mod:`repro.pacing`); ``None`` (the
+    #: default) disables pacing and overload handling falls back to the
+    #: blunt bounded queue alone.  With a config set, requests past the
+    #: pacer's BDP-derived inflight cap shed immediately with reason
+    #: ``"pacer-limit"`` instead of queueing into latency their deadline
+    #: budget cannot afford.
+    pacer: PacerConfig | None = None
 
 
 class GatewayResult:
@@ -135,7 +143,7 @@ class _PendingRequest:
 
     __slots__ = (
         "plans", "env_features", "env_key", "deadline", "enqueued_at",
-        "event", "result", "error", "abandoned", "done",
+        "event", "result", "error", "abandoned", "done", "paced",
     )
 
     def __init__(self, plans, env_features, env_key, deadline, now) -> None:
@@ -149,6 +157,9 @@ class _PendingRequest:
         self.error: BaseException | None = None
         self.abandoned = False
         self.done = False
+        #: True while this request holds one of the admission pacer's
+        #: inflight slots (cleared exactly once, under the gateway lock).
+        self.paced = False
 
 
 class OptimizerGateway:
@@ -171,16 +182,28 @@ class OptimizerGateway:
         breaker: CircuitBreaker | None = None,
         telemetry: Telemetry | None = None,
         on_trip=None,
+        pacer: AdmissionPacer | None = None,
     ) -> None:
         self.config = config or GatewayConfig()
         self.fallback = fallback or NativeCostFallback()
         self.telemetry = telemetry or Telemetry()
         self._on_trip = on_trip
         self.breaker = breaker or CircuitBreaker(self.config.breaker)
+        if pacer is None and self.config.pacer is not None:
+            pacer = AdmissionPacer(self.config.pacer)
+        self.pacer = pacer
+        if self.pacer is not None and self.pacer.telemetry is None:
+            self.pacer.telemetry = self.telemetry
         # Chain, don't clobber: a caller-provided breaker may carry its own
         # trip hook; the gateway adds telemetry + the lifecycle signal.
         self._user_breaker_trip = self.breaker.on_trip
         self.breaker.on_trip = self._breaker_tripped
+        # A breaker reset means the learned path changed (hot swap) or just
+        # recovered from a broken spell — either way the pacer's capacity
+        # estimates describe a path that no longer exists: re-probe from
+        # STARTUP.
+        self._user_breaker_reset = self.breaker.on_reset
+        self.breaker.on_reset = self._breaker_reset
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         self._queue: deque[_PendingRequest] = deque()
@@ -263,12 +286,19 @@ class OptimizerGateway:
             return self._fallback_result(plans, env_features, "no-model", started)
         if not self.breaker.allow():
             return self._fallback_result(plans, env_features, "circuit-open", started)
+        if self.pacer is not None and not self.pacer.try_admit():
+            # The pipe (plus its state-dependent headroom) is already full:
+            # queueing this request would only buy it latency, not an
+            # answer in budget.  Shed at admission, BBR-style.
+            self.breaker.release_probe()
+            return self._fallback_result(plans, env_features, "pacer-limit", started)
 
         env_key = (
             tuple(float(v) for v in env_features) if env_features is not None else None
         )
         deadline = started + deadline_ms / 1e3 if deadline_ms is not None else None
         request = _PendingRequest(list(plans), env_features, env_key, deadline, started)
+        request.paced = self.pacer is not None
 
         with self._work:
             if not self._running:
@@ -286,9 +316,11 @@ class OptimizerGateway:
                 self._work.notify()
         if closed:
             self.breaker.release_probe()
+            self._pacer_release(request)
             return self._fallback_result(plans, env_features, "closed", started)
         if shed:
             self.breaker.release_probe()
+            self._pacer_release(request)
             return self._fallback_result(plans, env_features, "shed", started)
 
         timeout = deadline - time.monotonic() if deadline is not None else None
@@ -348,12 +380,26 @@ class OptimizerGateway:
 
     # -- fallback + bookkeeping ------------------------------------------------
 
+    #: Fallback reasons that are *shed* decisions (load-based refusals of a
+    #: healthy path), mapped onto the telemetry split in
+    #: :data:`repro.gateway.telemetry.SHED_REASONS`.  ``no-model`` /
+    #: ``circuit-open`` / ``model-error`` are health events, not sheds.
+    _SHED_REASONS = {
+        "shed": "queue-full",
+        "pacer-limit": "pacer-limit",
+        "deadline": "deadline",
+        "closed": "closed",
+    }
+
     def _fallback_result(self, plans, env_features, reason, started) -> GatewayResult:
         costs = self.fallback.predict(list(plans), env_features=env_features)
         self.telemetry.counter("fallback_total", "requests answered by fallback").inc()
         self.telemetry.counter(
             f"fallback_{reason.replace('-', '_')}_total", f"fallbacks: {reason}"
         ).inc()
+        shed_reason = self._SHED_REASONS.get(reason)
+        if shed_reason is not None:
+            self.telemetry.record_shed(shed_reason)
         return self._finish(
             GatewayResult(
                 costs, "fallback", reason, 1e3 * (time.monotonic() - started), None
@@ -378,6 +424,28 @@ class OptimizerGateway:
             self._user_breaker_trip(breaker)
         if self._on_trip is not None:
             self._on_trip(self)
+
+    def _breaker_reset(self, breaker) -> None:
+        """Breaker reset hook: the learned path was swapped or declared
+        recovered, so the pacer's capacity estimates are void — re-enter
+        STARTUP and re-probe the pipe."""
+        if self.pacer is not None:
+            self.pacer.reset()
+        if self._user_breaker_reset is not None:
+            self._user_breaker_reset(breaker)
+
+    def _pacer_release(self, request: _PendingRequest) -> None:
+        """Return the request's pacer slot without a delivery sample — for
+        requests that never completed a learned batch (shed after
+        admission, abandoned, drained, failed).  Idempotent: the ``paced``
+        flag is cleared exactly once under the gateway lock."""
+        if self.pacer is None:
+            return
+        with self._lock:
+            if not request.paced:
+                return
+            request.paced = False
+        self.pacer.release()
 
     # -- fault injection (smoke tests / chaos drills) --------------------------
 
@@ -415,6 +483,7 @@ class OptimizerGateway:
             if abandoned_early:
                 # The caller already answered from the fallback; the learned
                 # path failed to schedule it in budget — a slow call.
+                self._pacer_release(first)
                 self.breaker.record_failure(kind="slow")
                 continue
             group = self._coalesce(first)
@@ -460,15 +529,18 @@ class OptimizerGateway:
                 )
                 self._observe_queue_wait(nxt)
                 if nxt.done:
-                    nxt = None  # answered by a concurrent close() drain
+                    skipped = nxt  # answered by a concurrent close() drain
+                    nxt = None
                     drained = True
                 elif nxt.abandoned:
+                    skipped = nxt
                     nxt = None
                     drained = False
                 else:
                     drained = False
                     self._inflight.append(nxt)
             if nxt is None:
+                self._pacer_release(skipped)
                 if not drained:
                     self.breaker.record_failure(kind="slow")
                 continue
@@ -511,11 +583,14 @@ class OptimizerGateway:
         )
         offset = 0
         now = time.monotonic()
+        slots = 0
         for request in group:
             n = len(request.plans)
             with self._lock:
                 abandoned = request.abandoned
                 drained = request.done  # answered by a concurrent close()
+                slots += request.paced
+                request.paced = False
                 if not abandoned and not drained:
                     request.done = True
                     if error is not None:
@@ -535,6 +610,15 @@ class OptimizerGateway:
                 service_time.observe(elapsed)
                 self.breaker.record_success(now - request.enqueued_at)
             offset += n
+        if self.pacer is not None and slots:
+            if error is None:
+                # The pipe computed this batch whether or not every caller
+                # stayed to hear the answer — it is a genuine delivery-rate
+                # and queue-free-latency measurement of the serving path.
+                self.pacer.on_delivered(slots, elapsed_seconds=elapsed)
+            else:
+                # A failed batch measures nothing; just return the slots.
+                self.pacer.release(slots)
         self._sync_gauges()
 
     # -- reporting -------------------------------------------------------------
@@ -543,6 +627,8 @@ class OptimizerGateway:
         self.telemetry.gauge("breaker_state", "0 closed, 1 half-open, 2 open").set(
             _BREAKER_STATE_CODES[self.breaker.state]
         )
+        if self.pacer is not None:
+            self.pacer.sync_gauges(self.telemetry)
         version = self._model_version()
         if version is not None:
             self.telemetry.gauge(
@@ -560,13 +646,17 @@ class OptimizerGateway:
                     "quantization gate state)",
                 ).set(value)
 
-    def stats(self) -> dict:
-        """JSON-able operational snapshot: telemetry, breaker, queue."""
+    def stats(self, *, include_samples: bool = False) -> dict:
+        """JSON-able operational snapshot: telemetry, breaker, pacer, queue.
+        ``include_samples`` attaches raw histogram reservoirs so fleet-level
+        merges can compute exact quantiles."""
         self._sync_gauges()
-        snapshot = self.telemetry.snapshot()
+        snapshot = self.telemetry.snapshot(include_samples=include_samples)
         with self._lock:
             depth = len(self._queue)
         snapshot["breaker"] = self.breaker.stats()
+        if self.pacer is not None:
+            snapshot["pacer"] = self.pacer.stats()
         snapshot["queue_depth"] = depth
         snapshot["has_model"] = self.has_model
         return snapshot
@@ -592,16 +682,21 @@ class OptimizerGateway:
             self._running = False
             self._work.notify_all()
         self._worker.join(timeout)
+        released = 0
         with self._lock:
             stranded = list(self._queue) + list(self._inflight)
             self._queue.clear()
             self._inflight.clear()
             for request in stranded:
+                released += request.paced
+                request.paced = False
                 if request.done:
                     continue
                 request.done = True
                 request.error = GatewayClosedError("gateway closed")
                 request.event.set()
+        if self.pacer is not None and released:
+            self.pacer.release(released)
 
     def __enter__(self) -> "OptimizerGateway":
         return self

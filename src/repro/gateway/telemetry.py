@@ -26,10 +26,16 @@ import time
 from collections import OrderedDict, deque
 from contextlib import contextmanager
 
-__all__ = ["Counter", "Gauge", "Histogram", "Telemetry"]
+__all__ = ["Counter", "Gauge", "Histogram", "SHED_REASONS", "Telemetry"]
 
 #: Quantiles reported for every histogram, in export order.
 QUANTILES = (0.50, 0.95, 0.99)
+
+#: The admission decisions that count as *shedding* — refusing a request
+#: the learned path will never see, for load (not health) reasons.  Each
+#: gets its own counter so dashboards can tell a full queue from a pacing
+#: refusal from a blown budget from a shutdown refusal.
+SHED_REASONS = ("queue-full", "pacer-limit", "deadline", "closed")
 
 
 def _sanitize(name: str) -> str:
@@ -147,7 +153,11 @@ class Histogram:
             ordered = sorted(self._window)
         return ordered[int(q * (len(ordered) - 1))]
 
-    def snapshot(self) -> dict:
+    def snapshot(self, *, include_samples: bool = False) -> dict:
+        """Summary statistics; with ``include_samples`` the raw reservoir
+        window rides along under ``"samples"`` so a downstream merge (the
+        fleet's :func:`repro.fleet.telemetry.merge_snapshots`) can compute
+        *exact* cross-shard quantiles instead of a max bound."""
         with self._lock:
             window = sorted(self._window)
             count, total = self._count, self._sum
@@ -156,7 +166,7 @@ class Histogram:
             f"p{int(q * 100)}": (window[int(q * (len(window) - 1))] if window else 0.0)
             for q in QUANTILES
         }
-        return {
+        out = {
             "count": count,
             "sum": total,
             "min": lo if count else 0.0,
@@ -164,6 +174,9 @@ class Histogram:
             "mean": total / count if count else 0.0,
             **quantiles,
         }
+        if include_samples:
+            out["samples"] = window
+        return out
 
 
 class Telemetry:
@@ -198,6 +211,23 @@ class Telemetry:
     def histogram(self, name: str, help: str = "", *, window: int = 2048) -> Histogram:
         return self._get_or_create(Histogram, name, help, window=window)
 
+    def record_shed(self, reason: str) -> None:
+        """Count one shed admission decision, split by reason.
+
+        ``sheds_total`` aggregates; ``shed_<reason>_total`` (one counter
+        per :data:`SHED_REASONS` entry) attributes it, so the queue-full /
+        pacer-limit / deadline / closed split is visible in both the JSON
+        and Prometheus exports without callers managing counter names.
+        """
+        if reason not in SHED_REASONS:
+            raise ValueError(
+                f"unknown shed reason {reason!r}; expected one of {SHED_REASONS}"
+            )
+        self.counter("sheds_total", "requests shed at admission, all reasons").inc()
+        self.counter(
+            f"shed_{reason.replace('-', '_')}_total", f"requests shed: {reason}"
+        ).inc()
+
     @contextmanager
     def span(self, name: str):
         """Time a code block: ``<name>_total`` counts entries and
@@ -213,13 +243,19 @@ class Telemetry:
 
     # -- export ---------------------------------------------------------------
 
-    def snapshot(self) -> dict:
-        """One consistent-enough JSON-able view of every instrument."""
+    def snapshot(self, *, include_samples: bool = False) -> dict:
+        """One consistent-enough JSON-able view of every instrument.
+        ``include_samples`` forwards to every histogram (raw reservoirs for
+        exact downstream merging)."""
         with self._lock:
             instruments = list(self._instruments.values())
         out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
         for instrument in instruments:
-            out[f"{instrument.kind}s"][instrument.name] = instrument.snapshot()
+            if isinstance(instrument, Histogram):
+                snap = instrument.snapshot(include_samples=include_samples)
+            else:
+                snap = instrument.snapshot()
+            out[f"{instrument.kind}s"][instrument.name] = snap
         return out
 
     def to_json(self, *, indent: int | None = None) -> str:

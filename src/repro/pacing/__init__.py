@@ -1,0 +1,31 @@
+"""BBR-style admission pacing: congestion control for the serving path.
+
+The serving pipe (gateway → inference service) is modelled the way BBR
+models a network path — a windowed-max delivery-rate estimator and a
+windowed-min queue-free latency estimator feed a BDP-style inflight cap,
+and a STARTUP → DRAIN → PROBE_BW / PROBE_RTT state machine paces
+admissions to sit at that operating point (docs/PACING.md).
+"""
+
+from repro.pacing.estimators import WindowedMax, WindowedMin
+from repro.pacing.pacer import (
+    DRAIN,
+    PACER_STATE_CODES,
+    PROBE_BW,
+    PROBE_RTT,
+    STARTUP,
+    AdmissionPacer,
+    PacerConfig,
+)
+
+__all__ = [
+    "AdmissionPacer",
+    "DRAIN",
+    "PACER_STATE_CODES",
+    "PROBE_BW",
+    "PROBE_RTT",
+    "PacerConfig",
+    "STARTUP",
+    "WindowedMax",
+    "WindowedMin",
+]

@@ -154,6 +154,67 @@ class TestMergeSnapshots:
         assert "repro_fleet_requests_total 10" in text
         assert 'repro_fleet_request_latency_seconds{quantile="0.99"}' in text
 
+    def _sampled(self, samples):
+        ordered = sorted(samples)
+        n = len(ordered)
+        return {
+            "counters": {},
+            "gauges": {},
+            "histograms": {
+                "lat": {
+                    "count": n, "sum": float(sum(ordered)),
+                    "min": ordered[0], "max": ordered[-1],
+                    "mean": sum(ordered) / n,
+                    "p50": ordered[int(0.50 * (n - 1))],
+                    "p95": ordered[int(0.95 * (n - 1))],
+                    "p99": ordered[int(0.99 * (n - 1))],
+                    "samples": ordered,
+                }
+            },
+        }
+
+    def test_exact_quantiles_when_all_shards_ship_samples(self):
+        # Shard A holds 0..49, shard B holds 50..99: the max-across-shards
+        # bound would report p50 = 74 (B's median); the exact merge reports
+        # the true fleet median, 49.
+        a, b = list(range(50)), list(range(50, 100))
+        merged = merge_snapshots([self._sampled(a), self._sampled(b)])
+        hist = merged["histograms"]["lat"]
+        assert hist["count"] == 100
+        assert hist["p50"] == 49
+        assert hist["p95"] == 94
+        assert hist["p99"] == 98
+        # The merged reservoir rides along, so a merge of merges is exact.
+        assert hist["samples"] == sorted(a + b)
+        again = merge_snapshots([merged, self._sampled([1000])])
+        assert again["histograms"]["lat"]["count"] == 101
+        assert again["histograms"]["lat"]["max"] == 1000
+
+    def test_sampleless_shard_degrades_to_max_bound(self):
+        a, b = list(range(50)), list(range(50, 100))
+        lossy = self._sampled(b)
+        del lossy["histograms"]["lat"]["samples"]
+        merged = merge_snapshots([self._sampled(a), lossy])
+        hist = merged["histograms"]["lat"]
+        assert hist["count"] == 100
+        assert hist["p50"] == 74  # max of per-shard medians: the bound
+        assert "samples" not in hist
+
+    def test_empty_shard_does_not_break_exact_merge(self):
+        empty = {
+            "counters": {}, "gauges": {},
+            "histograms": {"lat": {
+                "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }},
+        }
+        merged = merge_snapshots([empty, self._sampled([1, 2, 3])])
+        hist = merged["histograms"]["lat"]
+        assert hist["count"] == 3
+        assert hist["p99"] == 2  # nearest rank: index int(0.99 * 2)
+        assert hist["max"] == 3
+        assert hist["samples"] == [1, 2, 3]
+
 
 # -- the fleet itself -----------------------------------------------------------
 

@@ -36,6 +36,7 @@ from repro.gateway import (
     Telemetry,
     environment_factor_from_features,
 )
+from repro.pacing import PacerConfig
 from repro.serving import CostInferenceService
 
 TINY = PredictorConfig(epochs=2, hidden_dims=(16, 16), embedding_dim=8, adversarial=False)
@@ -481,6 +482,29 @@ class TestGatewayFallbackPaths:
             assert results[1].source == "learned" and results[1][0] == 1.0
             assert results[2].source == "learned" and results[2][0] == 2.0
             assert gw.telemetry.counter("fallback_shed_total").value == 1
+            # ... and the shed split attributes it to the queue.
+            assert gw.telemetry.counter("sheds_total").value == 1
+            assert gw.telemetry.counter("shed_queue_full_total").value == 1
+
+    def test_shed_split_counters_by_reason(self, native_plans):
+        """``sheds_total`` splits per reason: a deadline miss and a
+        post-close refusal land in different counters (health-based
+        fallbacks like no-model never count as sheds)."""
+        service = _StubService(delay=0.3)
+        with OptimizerGateway(service) as gw:
+            r = gw.predict(native_plans, env_features=ENV, deadline_ms=30)
+            assert r.reason == "deadline"
+            gw.close()
+            r = gw.predict(native_plans, env_features=ENV)
+            assert r.reason == "closed"
+            counters = gw.stats()["counters"]
+            assert counters["sheds_total"] == 2
+            assert counters["shed_deadline_total"] == 1
+            assert counters["shed_closed_total"] == 1
+            assert "shed_queue_full_total" not in counters
+        with OptimizerGateway(None) as gw:
+            assert gw.predict(native_plans, env_features=ENV).reason == "no-model"
+            assert "sheds_total" not in gw.stats()["counters"]
 
     def test_coalesces_compatible_requests(self):
         service = _StubService(delay=0.08)
@@ -788,6 +812,73 @@ class TestGatewayClose:
         release.set()  # unstick the daemon worker before the test exits
         assert not t.is_alive(), "caller stranded on a stuck learned path"
         assert done and done[0].fallback and done[0].reason == "closed"
+
+    def test_close_racing_deadline_expiry_answers_closed(self):
+        """close() fails a stuck in-flight request over *before* the
+        caller's deadline fires: the caller wakes on the failover event,
+        answers ``closed`` (never ``deadline``), never blocks, and the
+        pacer slot comes back exactly once."""
+        release = threading.Event()
+
+        class _StuckService:
+            predictor = _StubPredictor()
+
+            def predict(self, plans, *, env_features=None):
+                release.wait(20.0)
+                return np.zeros(len(plans))
+
+        class _StubFallback:
+            def predict(self, plans, *, env_features=None):
+                return np.array([-p.marker for p in plans], dtype=np.float64)
+
+        config = GatewayConfig(pacer=PacerConfig())
+        gw = OptimizerGateway(_StuckService(), config=config, fallback=_StubFallback())
+        done: list = []
+
+        def caller() -> None:
+            done.append(gw.predict(_marker_plans(1.0), deadline_ms=2000))
+
+        t = threading.Thread(target=caller)
+        t.start()
+        time.sleep(0.05)  # worker blocked inside the learned path
+        started = time.monotonic()
+        gw.close(timeout=0.1)  # failover completes well inside the budget
+        t.join(timeout=10.0)
+        release.set()
+        assert not t.is_alive(), "caller stranded across close()"
+        assert done and done[0].fallback and done[0].reason == "closed"
+        # Woke on the failover, not by waiting out the 2 s deadline.
+        assert time.monotonic() - started < 1.5
+        assert gw.pacer.inflight == 0
+        assert gw.stats()["counters"]["shed_closed_total"] == 1
+
+    def test_deadline_expiry_racing_close_answers_deadline(self):
+        """The mirror race: the deadline fires first, the caller answers
+        ``deadline`` immediately, and the close() that follows releases the
+        stranded request's pacer slot instead of leaking it."""
+        release = threading.Event()
+
+        class _StuckService:
+            predictor = _StubPredictor()
+
+            def predict(self, plans, *, env_features=None):
+                release.wait(20.0)
+                return np.zeros(len(plans))
+
+        class _StubFallback:
+            def predict(self, plans, *, env_features=None):
+                return np.array([-p.marker for p in plans], dtype=np.float64)
+
+        config = GatewayConfig(pacer=PacerConfig())
+        gw = OptimizerGateway(_StuckService(), config=config, fallback=_StubFallback())
+        result = gw.predict(_marker_plans(1.0), deadline_ms=30)
+        assert result.fallback and result.reason == "deadline"
+        assert gw.pacer.inflight == 1  # the stuck batch still holds it
+        gw.close(timeout=0.1)
+        release.set()
+        assert gw.pacer.inflight == 0
+        counters = gw.stats()["counters"]
+        assert counters["shed_deadline_total"] == 1
 
 
 # -- queue-wait / service-time latency split ------------------------------------

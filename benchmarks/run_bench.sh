@@ -14,10 +14,14 @@
 # promote convergence, worker-crash containment), the admission-pacing
 # benchmark (BENCH_pacer.json: BBR-paced gateway vs bufferbloat baseline
 # under 3x open-loop overload — p99 vs queue-free latency, goodput vs the
-# unpaced peak, shed rates, post-swap STARTUP re-probe), and the fig11
+# unpaced peak, shed rates, post-swap STARTUP re-probe), the
+# scenario-matrix benchmark (BENCH_scenarios.json: trace-style workloads
+# with regime injection replayed against the paced gateway and sharded
+# fleet — per-regime p99/shed/learned rates, drift retrain+promote
+# through the lifecycle, fixed-seed digest determinism), and the fig11
 # adaptive-training scenario routed through the model lifecycle
 # subsystem (registry + feedback + drift + canary), so successive PRs can
-# track all six trajectories.
+# track all seven trajectories.
 #
 # Usage:
 #   benchmarks/run_bench.sh                  # artifacts -> benchmarks/BENCH_*.json
@@ -34,6 +38,7 @@ export BENCH_TRAINING_OUT="${BENCH_TRAINING_OUT:-${REPO_ROOT}/benchmarks/BENCH_t
 export BENCH_GATEWAY_OUT="${BENCH_GATEWAY_OUT:-${REPO_ROOT}/benchmarks/BENCH_gateway.json}"
 export BENCH_FLEET_OUT="${BENCH_FLEET_OUT:-${REPO_ROOT}/benchmarks/BENCH_fleet.json}"
 export BENCH_PACER_OUT="${BENCH_PACER_OUT:-${REPO_ROOT}/benchmarks/BENCH_pacer.json}"
+export BENCH_SCENARIOS_OUT="${BENCH_SCENARIOS_OUT:-${REPO_ROOT}/benchmarks/BENCH_scenarios.json}"
 
 echo "== tier-1 tests (REPRO_SCALE=${REPRO_SCALE}) =="
 python -m pytest "${REPO_ROOT}/tests" -x -q
@@ -69,6 +74,14 @@ echo "== admission pacing benchmark (BBR pacer vs bufferbloat under overload) ==
 echo
 echo "== pacer self-check (state machine + overload + swap re-probe) =="
 python -m repro pacer
+
+echo
+echo "== scenario-matrix benchmark (regimes x gateway/fleet serving configs) =="
+(cd "${REPO_ROOT}/benchmarks" && python -m pytest bench_scenario_matrix.py -q -s)
+
+echo
+echo "== scenario self-check (drift retrain+promote, steady quiet, stable digests) =="
+python -m repro scenarios
 
 echo
 echo "== fig11 adaptive training through the model lifecycle =="
@@ -156,4 +169,28 @@ print(
     f"{artifact['promote']['post_promote_cold_misses']:.0f} cold misses; chaos "
     f"{artifact['chaos']['workers_alive']}/{artifact['n_workers']} serving after crash"
 )
+EOF
+echo "${BENCH_SCENARIOS_OUT}"
+python - "${BENCH_SCENARIOS_OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    artifact = json.load(fh)
+by_key = {(row["scenario"], row["target"]): row for row in artifact["rows"]}
+drift = by_key[("drift", "gateway")]
+parts = [
+    f"{len(artifact['rows'])} scenario rows, gateway queue-free "
+    f"{artifact['gateway_calibration']['queue_free_ms']:.1f} ms, drift "
+    f"{drift['retrains']}/{drift['promotes']} retrain/promote, digests "
+    f"stable: {artifact['determinism']['outcome_digest_equal']}",
+]
+bursty_fleet = by_key.get(("bursty-skewed", "fleet"))
+steady_fleet = by_key.get(("steady", "fleet"))
+if bursty_fleet and steady_fleet:
+    parts.append(
+        f"fleet bursty p99 {bursty_fleet['worst_p99_ms']:.1f} ms vs steady "
+        f"{steady_fleet['worst_p99_ms']:.1f} ms, sheds "
+        f"{bursty_fleet['shed_pacer_limit']} pacer-limit / "
+        f"{bursty_fleet['shed_deadline']} deadline"
+    )
+print("; ".join(parts))
 EOF

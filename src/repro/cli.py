@@ -33,7 +33,15 @@ Commands
               ``pacer-limit``, admitted traffic must converge the
               rate/latency estimators out of STARTUP, and a hot swap
               must re-enter STARTUP and re-learn.  Exits non-zero if
-              any check fails.
+              any check fails;
+``scenarios`` run the scenario-engine self-check: the ``drift`` scenario
+              replayed through a live lifecycle must flag drift, retrain,
+              canary, and promote exactly once; ``steady`` must never
+              retrain; and two fixed-seed replays must produce
+              bit-identical stream and outcome digests.  ``--list``
+              prints the scenario registry; ``--scenario NAME`` replays
+              one scenario against ``--target gateway|fleet`` and prints
+              its per-regime table.
 
 All commands are deterministic given ``--seed`` (the ``gateway`` command's
 traffic is concurrent, so request *interleaving* — not results — may vary).
@@ -109,6 +117,28 @@ def _build_parser() -> argparse.ArgumentParser:
     pacer.add_argument("--threads", type=int, default=8, help="overload caller threads")
     pacer.add_argument(
         "--seconds", type=float, default=1.5, help="overload traffic duration"
+    )
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="scenario-engine self-check: replay regimes through the lifecycle",
+    )
+    scenarios.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    scenarios.add_argument(
+        "--scenario",
+        default=None,
+        help="replay one named scenario and print its per-regime table",
+    )
+    scenarios.add_argument(
+        "--target",
+        choices=("gateway", "fleet"),
+        default="gateway",
+        help="serving target to replay against",
+    )
+    scenarios.add_argument(
+        "--epochs", type=int, default=10, help="incumbent training epochs"
     )
     return parser
 
@@ -852,6 +882,139 @@ def _cmd_pacer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """Scenario-engine smoke: the drift scenario replayed through a live
+    lifecycle must flag drift, retrain, canary, and promote exactly once;
+    the steady scenario must never retrain; and two replays from the same
+    seed must produce bit-identical stream and outcome digests.  With
+    ``--list`` prints the registry; with ``--scenario NAME`` replays one
+    scenario and prints its per-regime table.  Exits non-zero on any
+    violation."""
+    from repro.evaluation.reporting import format_table
+    from repro.workload import (
+        FleetTarget,
+        GatewayTarget,
+        ReplayConfig,
+        ReplayEngine,
+        ScenarioRuntime,
+        build_lifecycle,
+        build_scenario,
+        list_scenarios,
+    )
+
+    if args.list:
+        print(format_table(
+            ["scenario", "description"],
+            [[name, desc] for name, desc in list_scenarios()],
+        ))
+        return 0
+
+    if args.target == "fleet":
+        from repro.evaluation.pool import fork_available
+
+        if not fork_available():
+            print("scenarios: fleet target requires fork; skipping cleanly")
+            return 0
+
+    failures: list[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(("  ok   " if ok else "  FAIL ") + what)
+        if not ok:
+            failures.append(what)
+
+    def regime_table(report) -> str:
+        rows = []
+        for label, seg in report.segments.items():
+            sheds = ", ".join(
+                f"{count} {reason}" for reason, count in seg["shed_reasons"].items()
+            ) or "-"
+            rows.append([
+                label,
+                f"{seg['requests']}",
+                f"{seg['learned_rate']:.0%}",
+                f"{seg['p99_ms']:.2f}",
+                f"{seg['mean_steering_benefit']:+.3f}",
+                sheds,
+            ])
+        return format_table(
+            ["regime", "requests", "learned", "p99 ms", "steering benefit", "sheds"],
+            rows,
+        )
+
+    print("[1] scenario runtime (generated project, candidate pools, incumbent)")
+    runtime = ScenarioRuntime(seed=args.seed)
+    incumbent = runtime.train_incumbent(epochs=args.epochs)
+    check(not runtime.degraded_families, "every family matched project templates")
+
+    def replay(scenario_name: str):
+        lifecycle = build_lifecycle(runtime, incumbent)
+        if args.target == "fleet":
+            from repro.fleet import ServingFleet
+            from repro.workload import current_checkpoint_path
+
+            fleet = ServingFleet(current_checkpoint_path(lifecycle), n_workers=2)
+            lifecycle.attach_fleet(fleet)
+            target, closer = FleetTarget(fleet), fleet.close
+        else:
+            gateway = lifecycle.serve_through_gateway()
+            target, closer = GatewayTarget(gateway), gateway.close
+        try:
+            engine = ReplayEngine(
+                runtime, lifecycle=lifecycle, config=ReplayConfig(mode="logical")
+            )
+            return engine.run(build_scenario(scenario_name), target)
+        finally:
+            closer()
+
+    if args.scenario is not None:
+        report = replay(args.scenario)
+        print(f"\n{args.scenario} via {args.target} ({report.n_requests} requests, "
+              f"retrains {report.retrains}, promotes {report.promotes})")
+        print(regime_table(report))
+        for event in report.events:
+            print(f"  event t={event.at:6.2f}  {event.kind}  {event.detail}")
+        return 0
+
+    print(f"[2] drift scenario through the {args.target} + lifecycle")
+    drift = replay("drift")
+    check(drift.retrains == 1, "drift triggered exactly one retrain")
+    check(drift.promotes == 1, "the retrained candidate canary-promoted")
+    kinds = [e.kind for e in drift.events]
+    check(
+        kinds == ["drift-flagged", "promoted"],
+        f"lifecycle events in order (got {kinds})",
+    )
+    print(regime_table(drift))
+
+    print("[3] steady scenario must not retrain")
+    steady = replay("steady")
+    check(steady.retrains == 0 and steady.promotes == 0, "no spurious retrains")
+    check(
+        steady.segments["steady"]["learned_rate"] == 1.0,
+        "steady traffic fully served by the learned path",
+    )
+
+    print("[4] fixed-seed determinism")
+    again = replay("drift")
+    check(
+        again.stream_digest == drift.stream_digest,
+        "stream digest bit-identical across replays",
+    )
+    check(
+        again.outcome_digest == drift.outcome_digest,
+        "outcome digest bit-identical across replays",
+    )
+
+    if failures:
+        print(f"\nERROR: {len(failures)} scenario check(s) failed:", file=sys.stderr)
+        for what in failures:
+            print(f"  - {what}", file=sys.stderr)
+        return 1
+    print("\nscenario self-check: all checks passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     np.random.seed(args.seed)  # legacy global, for any stray consumers
@@ -864,6 +1027,7 @@ def main(argv: list[str] | None = None) -> int:
         "lifecycle": _cmd_lifecycle,
         "gateway": _cmd_gateway,
         "pacer": _cmd_pacer,
+        "scenarios": _cmd_scenarios,
     }
     return handlers[args.command](args)
 

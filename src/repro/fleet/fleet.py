@@ -257,7 +257,13 @@ class ServingFleet:
                 continue
             pacer = self._pacers.get(shard)
             if pacer is not None and not pacer.try_admit():
-                return self._shed(plans, envs, started, reason="pacer-limit")
+                return self._shed(
+                    plans,
+                    envs,
+                    started,
+                    reason="pacer-limit",
+                    retry_after=pacer.next_admit_eta(),
+                )
             send_plans = plans if plans_key is None or plans_key not in handle.sent_keys else None
             req_id = self._next_req_id()
             rpc_started = time.monotonic()
@@ -296,7 +302,9 @@ class ServingFleet:
             plans, envs, started, reason="closed" if self._closed else "no-workers"
         )
 
-    def _shed(self, plans, envs, started, *, reason: str) -> list[GatewayResult]:
+    def _shed(
+        self, plans, envs, started, *, reason: str, retry_after: float | None = None
+    ) -> list[GatewayResult]:
         """Answer a request the fleet could not place from the parent-side
         native fallback — the fleet keeps the gateway's one invariant."""
         self.telemetry.counter(
@@ -307,6 +315,11 @@ class ServingFleet:
         ).inc()
         if reason in SHED_REASONS:
             self.telemetry.record_shed(reason)
+        if retry_after is not None:
+            self.telemetry.histogram(
+                "retry_after_seconds",
+                "Retry-After hints attached to per-shard pacer-limit sheds",
+            ).observe(float(retry_after))
         latency_ms = 1e3 * (time.monotonic() - started)
         return [
             GatewayResult(
@@ -315,6 +328,7 @@ class ServingFleet:
                 reason,
                 latency_ms,
                 None,
+                retry_after=retry_after,
             )
             for env in envs
         ]

@@ -98,7 +98,9 @@ class GatewayResult:
     the serving layer returns.
     """
 
-    __slots__ = ("costs", "source", "reason", "latency_ms", "model_version")
+    __slots__ = (
+        "costs", "source", "reason", "latency_ms", "model_version", "retry_after",
+    )
 
     def __init__(
         self,
@@ -107,12 +109,18 @@ class GatewayResult:
         reason: str,
         latency_ms: float,
         model_version: int | None,
+        *,
+        retry_after: float | None = None,
     ) -> None:
         self.costs = costs
         self.source = source  # "learned" | "fallback"
         self.reason = reason  # "ok" | "no-model" | "shed" | "deadline" | ...
         self.latency_ms = latency_ms
         self.model_version = model_version
+        #: ``pacer-limit`` sheds only: the pacer's estimate of seconds until
+        #: an admission would succeed (HTTP Retry-After analogue).  ``None``
+        #: everywhere else, and on sheds from an unmeasured pacer.
+        self.retry_after = retry_after
 
     @property
     def fallback(self) -> bool:
@@ -289,9 +297,16 @@ class OptimizerGateway:
         if self.pacer is not None and not self.pacer.try_admit():
             # The pipe (plus its state-dependent headroom) is already full:
             # queueing this request would only buy it latency, not an
-            # answer in budget.  Shed at admission, BBR-style.
+            # answer in budget.  Shed at admission, BBR-style, with a
+            # Retry-After hint from the pacer's own schedule.
             self.breaker.release_probe()
-            return self._fallback_result(plans, env_features, "pacer-limit", started)
+            return self._fallback_result(
+                plans,
+                env_features,
+                "pacer-limit",
+                started,
+                retry_after=self.pacer.next_admit_eta(),
+            )
 
         env_key = (
             tuple(float(v) for v in env_features) if env_features is not None else None
@@ -391,7 +406,9 @@ class OptimizerGateway:
         "closed": "closed",
     }
 
-    def _fallback_result(self, plans, env_features, reason, started) -> GatewayResult:
+    def _fallback_result(
+        self, plans, env_features, reason, started, *, retry_after=None
+    ) -> GatewayResult:
         costs = self.fallback.predict(list(plans), env_features=env_features)
         self.telemetry.counter("fallback_total", "requests answered by fallback").inc()
         self.telemetry.counter(
@@ -400,9 +417,19 @@ class OptimizerGateway:
         shed_reason = self._SHED_REASONS.get(reason)
         if shed_reason is not None:
             self.telemetry.record_shed(shed_reason)
+        if retry_after is not None:
+            self.telemetry.histogram(
+                "retry_after_seconds",
+                "Retry-After hints attached to pacer-limit sheds",
+            ).observe(float(retry_after))
         return self._finish(
             GatewayResult(
-                costs, "fallback", reason, 1e3 * (time.monotonic() - started), None
+                costs,
+                "fallback",
+                reason,
+                1e3 * (time.monotonic() - started),
+                None,
+                retry_after=retry_after,
             ),
             started,
         )

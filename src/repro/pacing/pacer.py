@@ -327,6 +327,45 @@ class AdmissionPacer:
             self.admitted_total += 1
             return True
 
+    def next_admit_eta(self, now: float | None = None) -> float | None:
+        """Seconds until an admission would plausibly succeed — the
+        Retry-After hint attached to ``pacer-limit`` sheds.
+
+        Combines both admission gates: the pacing token (time until
+        ``_next_admit_at``) and the inflight window (excess requests over
+        the cap, paced out at the bottleneck rate — or, with only a
+        latency estimate, one queue-free service time each).  Returns
+        ``0.0`` when admission is currently open and ``None`` when the
+        pacer has no estimate to base a hint on (fresh or just reset).
+        """
+        with self._lock:
+            now = self.clock() if now is None else now
+            self._advance_locked(now)
+            return self._eta_locked(now)
+
+    def _eta_locked(self, now: float) -> float | None:
+        waits: list[float] = []
+        rate = self._rate.get(now)
+        if (
+            self.config.pace_admissions
+            and self._next_admit_at is not None
+            and rate is not None
+            and rate > 0.0
+            and now < self._next_admit_at
+        ):
+            waits.append(self._next_admit_at - now)
+        cap = self._cap_locked(now)
+        if self._inflight >= cap:
+            excess = self._inflight - cap + 1
+            if rate is not None and rate > 0.0:
+                waits.append(excess / rate)
+            else:
+                latency = self._latency.get(now)
+                if latency is None:
+                    return None
+                waits.append(excess * latency)
+        return max(waits) if waits else 0.0
+
     def release(self, n: int = 1) -> None:
         """Return slots whose requests never produced a delivery sample
         (failed batches, abandoned or drained requests)."""
@@ -425,6 +464,7 @@ class AdmissionPacer:
                 "min_latency_seconds": latency,
                 "bdp": bdp,
                 "probe_bw_phase": self._probe_bw_phase,
+                "next_admit_eta_seconds": self._eta_locked(now),
                 "admitted_total": self.admitted_total,
                 "denied_total": self.denied_total,
                 "delivered_total": self.delivered_total,

@@ -1,0 +1,805 @@
+"""The replay engine: stream a scenario against a live serving target.
+
+``ScenarioRuntime`` grounds a scenario in a concrete project: it builds
+the warehouse workload (the same ``ProjectWorkload`` generator every bench
+uses), resolves each :class:`~repro.workload.scenarios.FamilySpec` to a
+pool of candidate sets (query → ``PlanExplorer`` candidates, with their
+noise-free *intrinsic* costs as the steering-benefit oracle), computes the
+representative environment e_r, and trains the incumbent model on the
+pools' own cost law — so pre-drift q-errors are small by construction and
+regime injections are the *only* thing that moves them.
+
+``ReplayEngine`` then fires a materialized stream at a target:
+
+* **logical mode** — sequential, on a virtual clock that jumps to each
+  arrival timestamp.  No wall-clock timing enters any decision, so the
+  outcome (chosen plans, costs, lifecycle events) is bit-deterministic
+  from the scenario seed: replaying twice yields identical
+  ``outcome_digest`` values — the determinism gate.
+* **timed mode** — the open-loop harness the pacer bench established:
+  caller threads fire each request at its wall-clock arrival time whether
+  or not the target kept up, which is what makes sheds, deadlines, and
+  p99 measurable.  Timing-dependent, so excluded from determinism claims.
+
+Targets are thin adapters (:class:`ServiceTarget`, :class:`GatewayTarget`,
+:class:`FleetTarget`) over the three serving layers; all return
+``GatewayResult``-shaped answers so one engine drives them all.
+
+With a ``ModelLifecycle`` attached, every learned answer's outcome is fed
+back (`observe`), drift is checked on a fixed cadence, and a raised flag
+drives the full loop *inside the replay*: wait out a post-flag backlog (so
+post-drift outcomes dominate the bounded feedback log), train a candidate
+on the recent window, canary it, and promote — every step recorded as a
+timestamped :class:`ReplayEvent` in the report.  The scenario-matrix
+bench gates on exactly one retrain+promote for the ``drift`` scenario and
+zero for ``steady``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gateway.fallback import environment_factor_from_features
+from repro.utils import spawn_rng
+from repro.workload.scenarios import (
+    DEFAULT_FAMILIES,
+    FamilySpec,
+    Request,
+    Scenario,
+    ScenarioStream,
+)
+
+__all__ = [
+    "CandidateSet",
+    "ScenarioRuntime",
+    "ServiceTarget",
+    "GatewayTarget",
+    "FleetTarget",
+    "ReplayConfig",
+    "ReplayEvent",
+    "ReplayReport",
+    "ReplayEngine",
+    "SegmentStats",
+    "VirtualClock",
+    "build_lifecycle",
+    "current_checkpoint_path",
+]
+
+
+class VirtualClock:
+    """Injectable monotonic clock for logical replays: time is *set* to
+    each arrival timestamp instead of flowing."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.t = float(start)
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance_to(self, t: float) -> None:
+        self.t = max(self.t, float(t))
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """One recurring query's steering decision, frozen for replay: the
+    candidate plans, their intrinsic (noise-free oracle) costs, and which
+    candidate is the native optimizer's default."""
+
+    key: str
+    family: str
+    plans: tuple
+    true_costs: np.ndarray
+    default_index: int
+
+    @property
+    def best_index(self) -> int:
+        return int(np.argmin(self.true_costs))
+
+
+class ScenarioRuntime:
+    """Grounds scenarios in one generated project: candidate pools per
+    family, the representative environment, the observation cost model,
+    and incumbent training."""
+
+    def __init__(
+        self,
+        profile=None,
+        *,
+        history_days: int = 3,
+        horizon_days: int | None = None,
+        max_queries_per_day: int = 30,
+        pool_size: int = 8,
+        top_k: int = 5,
+        seed: int = 7,
+    ) -> None:
+        from repro.core.explorer import PlanExplorer
+        from repro.core.inference import ClusterExpectedEnvironment
+        from repro.warehouse.workload import ProjectProfile, generate_project
+
+        if profile is None:
+            profile = ProjectProfile(
+                name="scenario-rt",
+                seed=seed,
+                n_tables=12,
+                n_templates=10,
+                stats_availability=0.2,
+                temp_table_ratio=0.25,
+                max_join_tables=4,
+                row_scale=3e5,
+                n_machines=60,
+            )
+        self.profile = profile
+        self.history_days = history_days
+        self.pool_size = pool_size
+        self.top_k = top_k
+        self._rng = np.random.default_rng(seed)
+        self.workload = generate_project(
+            profile,
+            horizon_days=horizon_days if horizon_days is not None else history_days + 5,
+        )
+        self.workload.simulate_history(
+            history_days, max_queries_per_day=max_queries_per_day
+        )
+        self.explorer = PlanExplorer(self.workload.optimizer)
+        self.env_r = tuple(
+            float(v)
+            for v in ClusterExpectedEnvironment(
+                self.workload.cluster, n_samples=24, ticks_between=30
+            ).features()
+        )
+        self._pools: dict[str, list[CandidateSet]] = {}
+        #: Families whose spec matched no template and degraded to the full
+        #: template set (visible so a scenario author can fix the spec).
+        self.degraded_families: list[str] = []
+
+    # -- candidate pools -------------------------------------------------------
+
+    def pool_for(self, spec: FamilySpec) -> list[CandidateSet]:
+        """The family's candidate-set pool (built once, cached)."""
+        if spec.name in self._pools:
+            return self._pools[spec.name]
+        day = spec.build_day if spec.build_day is not None else self.history_days - 1
+        live, weights = self.workload.live_templates(day)
+        matching = [
+            (t, w) for t, w in zip(live, weights) if spec.matches(t)
+        ]
+        if not matching:
+            matching = list(zip(live, weights))
+            self.degraded_families.append(spec.name)
+        templates = [t for t, _ in matching]
+        w = np.array([wt for _, wt in matching])
+        w = w / w.sum()
+        rng = spawn_rng(self._rng, "pool", spec.name)
+        pool: list[CandidateSet] = []
+        attempts = 0
+        max_attempts = 12 * self.pool_size
+        while len(pool) < self.pool_size and attempts < max_attempts:
+            attempts += 1
+            template = templates[int(rng.choice(len(templates), p=w))]
+            query = template.instantiate(
+                f"{self.profile.name}-{spec.name}-p{len(pool)}-a{attempts}",
+                rng,
+                submit_day=day,
+            )
+            plans = self.explorer.candidates(query, top_k=self.top_k)
+            if len(plans) < 2:
+                continue
+            default_index = next(
+                (i for i, p in enumerate(plans) if getattr(p, "is_default", False)), 0
+            )
+            pool.append(
+                CandidateSet(
+                    key=f"{spec.name}:{len(pool)}",
+                    family=spec.name,
+                    plans=tuple(plans),
+                    true_costs=np.array(
+                        [self.workload.executor.intrinsic_cost(p) for p in plans]
+                    ),
+                    default_index=default_index,
+                )
+            )
+        if not pool:
+            raise RuntimeError(
+                f"family {spec.name!r} produced no multi-candidate queries"
+            )
+        self._pools[spec.name] = pool
+        return pool
+
+    def pools(self, families: tuple[FamilySpec, ...]) -> dict[str, list[CandidateSet]]:
+        return {spec.name: self.pool_for(spec) for spec in families}
+
+    # -- observation model -----------------------------------------------------
+
+    def observed_cost(self, candidate_set: CandidateSet, chosen: int, request: Request) -> float:
+        """Ground-truth execution cost of the chosen plan under the
+        request's regime: intrinsic cost × environment factor × the
+        regime's drift factor × the request's pre-drawn execution noise."""
+        return float(
+            candidate_set.true_costs[chosen]
+            * environment_factor_from_features(request.env)
+            * request.cost_factor
+            * request.noise
+        )
+
+    # -- incumbent -------------------------------------------------------------
+
+    def train_incumbent(
+        self,
+        families: tuple[FamilySpec, ...] = DEFAULT_FAMILIES,
+        *,
+        epochs: int = 6,
+        noise_sigma: float = 0.05,
+        max_plans: int = 400,
+    ):
+        """Train the incumbent on the pools' own cost law (intrinsic ×
+        e_r's environment factor, light noise) so pre-drift q-errors are
+        small by construction and regimes are the only moving part."""
+        from repro.core.predictor import AdaptiveCostPredictor, PredictorConfig
+
+        pools = self.pools(families)
+        plans = [p for pool in pools.values() for cs in pool for p in cs.plans]
+        costs = np.array(
+            [
+                cs.true_costs[i]
+                for pool in pools.values()
+                for cs in pool
+                for i in range(len(cs.plans))
+            ]
+        ) * environment_factor_from_features(self.env_r)
+        rng = spawn_rng(self._rng, "incumbent")
+        costs = costs * np.exp(
+            rng.normal(-0.5 * noise_sigma**2, noise_sigma, size=len(costs))
+        )
+        if len(plans) > max_plans:
+            keep = rng.choice(len(plans), size=max_plans, replace=False)
+            plans = [plans[i] for i in keep]
+            costs = costs[keep]
+        predictor = AdaptiveCostPredictor(config=PredictorConfig(epochs=epochs))
+        predictor.fit(list(plans), costs)
+        return predictor
+
+    def baseline_q_error(
+        self,
+        predictor,
+        families: tuple[FamilySpec, ...] = DEFAULT_FAMILIES,
+        *,
+        n: int = 48,
+    ) -> float:
+        """Mean q-error of ``predictor`` against the observation model at
+        e_r — the calibration the drift thresholds anchor on."""
+        from repro.serving.service import CostInferenceService
+
+        pools = self.pools(families)
+        service = CostInferenceService(predictor, enable_prediction_cache=False)
+        rng = spawn_rng(self._rng, "baseline-q")
+        names = sorted(pools)
+        qs = []
+        for _ in range(n):
+            pool = pools[names[int(rng.integers(len(names)))]]
+            cs = pool[int(rng.integers(len(pool)))]
+            predictions = np.asarray(service.predict(list(cs.plans), env_features=self.env_r))
+            observed = cs.true_costs * environment_factor_from_features(self.env_r)
+            pred = np.maximum(predictions, 1e-9)
+            obs = np.maximum(observed, 1e-9)
+            qs.append(float(np.mean(np.maximum(pred / obs, obs / pred))))
+        return float(np.mean(qs))
+
+
+def build_lifecycle(
+    runtime: ScenarioRuntime,
+    incumbent,
+    *,
+    registry=None,
+    feedback_capacity: int = 192,
+    drift_window: int = 32,
+    min_samples: int = 24,
+    degradation_ratio: float = 1.5,
+    q_error_headroom: float = 2.0,
+):
+    """A ``ModelLifecycle`` calibrated for replay: the absolute q-error
+    alarm sits at ``q_error_headroom ×`` the incumbent's measured baseline
+    (floored at 2.5), and the feedback log is bounded tightly enough that
+    a post-drift backlog displaces pre-drift records before the canary
+    holdout is drawn — without which a genuinely better retrain loses the
+    canary to stale history."""
+    from repro.lifecycle import CanaryConfig, DriftConfig, FeedbackLog, ModelLifecycle
+
+    baseline = runtime.baseline_q_error(incumbent)
+    lifecycle = ModelLifecycle(
+        registry,
+        feedback=FeedbackLog(capacity=feedback_capacity),
+        drift=DriftConfig(
+            window=drift_window,
+            min_samples=min_samples,
+            max_q_error=max(2.5, q_error_headroom * baseline),
+            degradation_ratio=degradation_ratio,
+        ),
+        canary=CanaryConfig(holdout_fraction=0.3, min_holdout=8),
+    )
+    lifecycle.bootstrap(incumbent, environment_features=runtime.env_r)
+    return lifecycle
+
+
+def current_checkpoint_path(lifecycle):
+    """Filesystem path of the lifecycle's currently promoted checkpoint
+    (what a ``ServingFleet`` boots its workers from)."""
+    current = lifecycle.registry.current
+    if current is None:
+        raise RuntimeError("lifecycle has no promoted checkpoint")
+    return lifecycle.registry.root / current.path
+
+
+# -- serving targets -----------------------------------------------------------
+
+
+class ServiceTarget:
+    """Drive a bare ``CostInferenceService`` (single-threaded fast path)."""
+
+    name = "service"
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    def predict(self, candidate_set: CandidateSet, request: Request, deadline_ms):
+        from repro.gateway import GatewayResult
+
+        started = time.monotonic()
+        costs = self.service.predict(list(candidate_set.plans), env_features=request.env)
+        return GatewayResult(
+            np.asarray(costs),
+            "learned",
+            "ok",
+            1e3 * (time.monotonic() - started),
+            getattr(getattr(self.service, "predictor", None), "weights_version", None),
+        )
+
+    def stats(self) -> dict:
+        counters = getattr(self.service, "cache_counters", None)
+        return {"cache": counters()} if counters is not None else {}
+
+    def close(self) -> None:
+        pass
+
+
+class GatewayTarget:
+    """Drive one ``OptimizerGateway`` (all tenants share it)."""
+
+    name = "gateway"
+
+    def __init__(self, gateway) -> None:
+        self.gateway = gateway
+
+    def predict(self, candidate_set: CandidateSet, request: Request, deadline_ms):
+        return self.gateway.predict(
+            list(candidate_set.plans),
+            env_features=request.env,
+            deadline_ms=deadline_ms,
+        )
+
+    def stats(self) -> dict:
+        return self.gateway.stats()
+
+    def close(self) -> None:
+        self.gateway.close()
+
+
+class FleetTarget:
+    """Drive a ``ServingFleet``: tenants route to their pinned shards and
+    candidate sets ship encode-once via their pool keys."""
+
+    name = "fleet"
+
+    def __init__(self, fleet) -> None:
+        self.fleet = fleet
+
+    def predict(self, candidate_set: CandidateSet, request: Request, deadline_ms):
+        return self.fleet.predict(
+            request.tenant,
+            list(candidate_set.plans),
+            env_features=request.env,
+            deadline_ms=deadline_ms,
+            plans_key=candidate_set.key,
+        )
+
+    def stats(self) -> dict:
+        return self.fleet.stats()
+
+    def close(self) -> None:
+        self.fleet.close()
+
+
+# -- replay bookkeeping --------------------------------------------------------
+
+
+@dataclass
+class SegmentStats:
+    """Per-regime-segment outcome tally."""
+
+    label: str
+    requests: int = 0
+    learned: int = 0
+    fallback: int = 0
+    reasons: dict[str, int] = field(default_factory=dict)
+    latencies: list[float] = field(default_factory=list)
+    benefit_sum: float = 0.0
+    benefit_n: int = 0
+    retry_after_sum: float = 0.0
+    retry_after_n: int = 0
+
+    def record(self, result, latency_seconds: float, benefit: float | None) -> None:
+        self.requests += 1
+        if result.source == "learned":
+            self.learned += 1
+        else:
+            self.fallback += 1
+            self.reasons[result.reason] = self.reasons.get(result.reason, 0) + 1
+        self.latencies.append(latency_seconds)
+        if benefit is not None:
+            self.benefit_sum += benefit
+            self.benefit_n += 1
+        retry_after = getattr(result, "retry_after", None)
+        if retry_after is not None:
+            self.retry_after_sum += float(retry_after)
+            self.retry_after_n += 1
+
+    def _quantile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        return ordered[int(q * (len(ordered) - 1))]
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "learned": self.learned,
+            "fallback": self.fallback,
+            "shed_reasons": dict(self.reasons),
+            "learned_rate": self.learned / self.requests if self.requests else 0.0,
+            "p50_ms": 1e3 * self._quantile(0.50),
+            "p99_ms": 1e3 * self._quantile(0.99),
+            "mean_steering_benefit": (
+                self.benefit_sum / self.benefit_n if self.benefit_n else 0.0
+            ),
+            "mean_retry_after_seconds": (
+                self.retry_after_sum / self.retry_after_n if self.retry_after_n else None
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class ReplayEvent:
+    """One lifecycle-visible replay event (drift flag, retrain verdict)."""
+
+    kind: str  # "drift-flagged" | "promoted" | "rejected"
+    at: float  # scenario seconds (virtual clock)
+    index: int  # request index the event fired after
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "at": float(self.at),
+            "index": int(self.index),
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ReplayReport:
+    """Everything one replay produced, JSON-able for bench artifacts."""
+
+    scenario: str
+    target: str
+    mode: str
+    n_requests: int
+    wall_seconds: float
+    segments: dict[str, dict]
+    events: list[ReplayEvent]
+    retrains: int
+    promotes: int
+    stream_digest: str
+    outcome_digest: str
+    target_stats: dict | None = None
+
+    def overall(self) -> dict:
+        """Totals across segments (requests, learned, sheds by reason)."""
+        out: dict = {"requests": 0, "learned": 0, "fallback": 0, "shed_reasons": {}}
+        for seg in self.segments.values():
+            out["requests"] += seg["requests"]
+            out["learned"] += seg["learned"]
+            out["fallback"] += seg["fallback"]
+            for reason, count in seg["shed_reasons"].items():
+                out["shed_reasons"][reason] = (
+                    out["shed_reasons"].get(reason, 0) + count
+                )
+        return out
+
+    def as_dict(self, *, include_target_stats: bool = False) -> dict:
+        out = {
+            "scenario": self.scenario,
+            "target": self.target,
+            "mode": self.mode,
+            "n_requests": self.n_requests,
+            "wall_seconds": self.wall_seconds,
+            "segments": self.segments,
+            "events": [e.as_dict() for e in self.events],
+            "retrains": self.retrains,
+            "promotes": self.promotes,
+            "stream_digest": self.stream_digest,
+            "outcome_digest": self.outcome_digest,
+            "overall": self.overall(),
+        }
+        if include_target_stats and self.target_stats is not None:
+            out["target_stats"] = self.target_stats
+        return out
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Replay-engine knobs (adaptation cadence documented in docs/SCENARIOS.md)."""
+
+    mode: str = "logical"  # "logical" | "timed"
+    #: Timed mode: caller threads servicing the open-loop schedule.
+    threads: int = 12
+    deadline_ms: float | None = None
+    #: Timed mode: scenario seconds per wall second (2.0 replays a
+    #: 6-second trace in 3 wall seconds, doubling every arrival rate).
+    time_scale: float = 1.0
+    #: Feed learned outcomes back into the lifecycle (when one is attached).
+    observe: bool = True
+    #: Also observe fallback-answered requests.  Off by default: a shed
+    #: request's "prediction" is the native cost scale, which poisons the
+    #: drift monitor's q-error with apples-to-oranges pairs.
+    observe_fallback: bool = False
+    #: Drift is assessed every this many observations.
+    drift_check_every: int = 16
+    #: Observations between the drift flag and the retrain, so post-drift
+    #: outcomes fill the bounded feedback log before the canary draws its
+    #: holdout (see :func:`build_lifecycle`).
+    retrain_backlog: int = 160
+    #: Recent scoreable records the candidate trains on.
+    retrain_window: int = 128
+    retrain_epochs: int = 12
+    #: Observations after a retrain verdict before drift is assessed
+    #: again — the recent window must refill with post-verdict outcomes,
+    #: or the same (already-answered) drift re-flags immediately.
+    adapt_cooldown: int = 96
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("logical", "timed"):
+            raise ValueError(f"mode must be 'logical' or 'timed', got {self.mode!r}")
+        if self.time_scale <= 0.0:
+            raise ValueError(f"time_scale must be > 0, got {self.time_scale}")
+
+
+class ReplayEngine:
+    """Stream scenarios at serving targets; close the lifecycle loop."""
+
+    def __init__(
+        self,
+        runtime: ScenarioRuntime,
+        *,
+        lifecycle=None,
+        config: ReplayConfig | None = None,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        self.runtime = runtime
+        self.lifecycle = lifecycle
+        self.config = config or ReplayConfig()
+        self.clock = clock or VirtualClock()
+        self._lifecycle_lock = threading.Lock()
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, scenario: Scenario, target) -> ReplayReport:
+        pools = self.runtime.pools(scenario.families)
+        stream = scenario.stream(
+            {name: len(pool) for name, pool in pools.items()}, env=self.runtime.env_r
+        )
+        segments = {
+            label: SegmentStats(label) for label, _, _ in stream.segments()
+        }
+        state = _ReplayState()
+        started = time.perf_counter()
+        if self.config.mode == "logical":
+            outcomes = self._run_logical(stream, pools, target, segments, state)
+        else:
+            outcomes = self._run_timed(stream, pools, target, segments, state)
+        wall = time.perf_counter() - started
+        return ReplayReport(
+            scenario=scenario.name,
+            target=target.name,
+            mode=self.config.mode,
+            n_requests=len(stream),
+            wall_seconds=wall,
+            segments={label: seg.as_dict() for label, seg in segments.items()},
+            events=state.events,
+            retrains=state.retrains,
+            promotes=state.promotes,
+            stream_digest=stream.digest(),
+            outcome_digest=_outcome_digest(outcomes, state.events),
+            target_stats=target.stats(),
+        )
+
+    # -- modes -----------------------------------------------------------------
+
+    def _run_logical(self, stream, pools, target, segments, state) -> list[tuple]:
+        outcomes = []
+        for request in stream.requests:
+            self.clock.advance_to(request.t)
+            outcomes.append(
+                self._fire(request, pools, target, segments, state)
+            )
+        return outcomes
+
+    def _run_timed(self, stream, pools, target, segments, state) -> list[tuple]:
+        requests = stream.requests
+        n = len(requests)
+        outcomes: list = [None] * n
+        cursor = {"i": 0}
+        lock = threading.Lock()
+        seg_lock = threading.Lock()
+        start = time.perf_counter() + 0.05
+
+        def caller() -> None:
+            while True:
+                with lock:
+                    i = cursor["i"]
+                    if i >= n:
+                        return
+                    cursor["i"] = i + 1
+                request = requests[i]
+                wait = start + request.t / self.config.time_scale - time.perf_counter()
+                if wait > 0:
+                    time.sleep(wait)
+                outcomes[i] = self._fire(
+                    request, pools, target, segments, state, seg_lock=seg_lock
+                )
+
+        threads = [
+            threading.Thread(target=caller, name=f"replay-{i}")
+            for i in range(self.config.threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        self.clock.advance_to(stream.scenario.duration_seconds)
+        return outcomes
+
+    # -- one request -----------------------------------------------------------
+
+    def _fire(self, request, pools, target, segments, state, *, seg_lock=None):
+        candidate_set = pools[request.family][request.pool_index]
+        t0 = time.perf_counter()
+        result = target.predict(candidate_set, request, self.config.deadline_ms)
+        latency = time.perf_counter() - t0
+        chosen = int(np.argmin(np.asarray(result.costs)))
+        true = candidate_set.true_costs
+        benefit = float(
+            (true[candidate_set.default_index] - true[chosen])
+            / max(true[candidate_set.default_index], 1e-9)
+        )
+        segment = segments.setdefault(request.segment, SegmentStats(request.segment))
+        if seg_lock is not None:
+            with seg_lock:
+                segment.record(result, latency, benefit)
+        else:
+            segment.record(result, latency, benefit)
+        if self.lifecycle is not None and self.config.observe:
+            if result.source == "learned" or self.config.observe_fallback:
+                with self._lifecycle_lock:
+                    self._observe(request, candidate_set, chosen, result, state)
+        return (
+            request.index,
+            chosen,
+            result.source,
+            result.reason,
+            np.asarray(result.costs, dtype=np.float64).tobytes(),
+        )
+
+    # -- lifecycle loop --------------------------------------------------------
+
+    def _observe(self, request, candidate_set, chosen, result, state) -> None:
+        observed = self.runtime.observed_cost(candidate_set, chosen, request)
+        self.lifecycle.observe(
+            candidate_set.plans[chosen],
+            observed,
+            predicted_cost=float(np.asarray(result.costs)[chosen]),
+            env_features=request.env,
+            day=request.day,
+        )
+        state.observations += 1
+        cfg = self.config
+        if state.pending_since is None:
+            if (
+                state.observations >= state.cooldown_until
+                and state.observations % cfg.drift_check_every == 0
+            ):
+                report = self.lifecycle.check_drift()
+                if report.retrain:
+                    state.pending_since = state.observations
+                    state.events.append(
+                        ReplayEvent(
+                            kind="drift-flagged",
+                            at=request.t,
+                            index=request.index,
+                            detail=",".join(report.reasons),
+                        )
+                    )
+        elif state.observations - state.pending_since >= cfg.retrain_backlog:
+            self._retrain(request, state)
+
+    def _retrain(self, request, state) -> None:
+        from repro.core.predictor import AdaptiveCostPredictor, PredictorConfig
+
+        cfg = self.config
+        records = self.lifecycle.feedback.scoreable()[-cfg.retrain_window :]
+        candidate = AdaptiveCostPredictor(
+            config=PredictorConfig(epochs=cfg.retrain_epochs)
+        )
+        candidate.fit(
+            [r.plan for r in records], [r.observed_cost for r in records]
+        )
+        report, entry = self.lifecycle.submit_candidate(
+            candidate,
+            environment_features=request.env,
+            metrics={"trigger": "scenario-replay", "at": float(request.t)},
+        )
+        state.retrains += 1
+        if entry is not None:
+            state.promotes += 1
+            state.events.append(
+                ReplayEvent(
+                    kind="promoted",
+                    at=request.t,
+                    index=request.index,
+                    detail=f"v{entry.version} weights_version={entry.weights_version}",
+                )
+            )
+        else:
+            state.events.append(
+                ReplayEvent(
+                    kind="rejected",
+                    at=request.t,
+                    index=request.index,
+                    detail=report.summary() if hasattr(report, "summary") else "",
+                )
+            )
+        state.pending_since = None
+        state.cooldown_until = state.observations + cfg.adapt_cooldown
+
+
+@dataclass
+class _ReplayState:
+    """Mutable adaptation state threaded through one replay run."""
+
+    observations: int = 0
+    pending_since: int | None = None
+    cooldown_until: int = 0
+    retrains: int = 0
+    promotes: int = 0
+    events: list[ReplayEvent] = field(default_factory=list)
+
+
+def _outcome_digest(outcomes: list[tuple], events: list[ReplayEvent]) -> str:
+    """Bit-stable identity of a replay's decisions: per-request chosen
+    index, source/reason, and exact cost bytes, plus the lifecycle event
+    sequence.  Wall-clock latencies are deliberately excluded."""
+    h = hashlib.sha256()
+    for outcome in outcomes:
+        if outcome is None:
+            continue
+        index, chosen, source, reason, cost_bytes = outcome
+        h.update(f"{index}|{chosen}|{source}|{reason}|".encode())
+        h.update(cost_bytes)
+        h.update(b"\n")
+    for event in events:
+        h.update(f"E|{event.kind}|{event.index}|{event.detail}\n".encode())
+    return h.hexdigest()

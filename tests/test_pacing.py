@@ -643,3 +643,113 @@ class TestFleetPacing:
             assert "samples" in hist
             assert len(hist["samples"]) == hist["count"] == 4
             assert hist["p99"] in hist["samples"]
+
+
+# -- retry-after hints ----------------------------------------------------------
+
+
+class TestNextAdmitEta:
+    def test_open_admission_is_zero(self):
+        p = _pacer(_FakeClock())
+        assert p.next_admit_eta() == 0.0
+
+    def test_full_unmeasured_pacer_has_no_hint(self):
+        p = _pacer(_FakeClock())
+        for _ in range(4):
+            assert p.try_admit()
+        assert p.next_admit_eta() is None
+
+    def test_inflight_excess_paced_out_at_btl_rate(self):
+        clock = _FakeClock()
+        p = _pacer(clock)
+        for _ in range(4):
+            p.try_admit()
+        p.on_delivered(1, elapsed_seconds=0.1)  # rate 10/s, inflight 3 < cap
+        assert p.next_admit_eta() == 0.0
+        assert p.try_admit()  # back at the cap (STARTUP cap is 4 here)
+        # One slot must come back before an admit can succeed: 1 / rate.
+        assert p.next_admit_eta() == pytest.approx(0.1)
+
+    def test_pacing_token_wait_counts_and_expires(self):
+        clock = _FakeClock()
+        p = _pacer(clock, pace_admissions=True, initial_cap=8)
+        p.try_admit()
+        p.try_admit()
+        p.on_delivered(2, elapsed_seconds=0.2)  # rate 10/s
+        assert p.try_admit()  # schedules the next pacing token
+        eta = p.next_admit_eta()
+        assert eta is not None and 0.0 < eta <= 1.0 / 10.0
+        assert not p.try_admit()  # token not due: denied
+        clock.advance(eta)
+        assert p.next_admit_eta() == 0.0
+        assert p.try_admit()
+
+    def test_stats_carry_the_eta(self):
+        p = _pacer(_FakeClock())
+        assert p.stats()["next_admit_eta_seconds"] == 0.0
+
+
+class TestRetryAfterSurfacing:
+    def test_gateway_pacer_limit_shed_carries_retry_after(self):
+        service = _StubService()
+        config = GatewayConfig(pacer=PacerConfig(initial_cap=2))
+        with OptimizerGateway(
+            service, config=config, fallback=_StubFallback()
+        ) as gw:
+            ok = gw.predict(_marker_plans(1.0, 2.0))
+            assert ok.source == "learned" and ok.retry_after is None
+            taken = 0
+            while gw.pacer.try_admit():
+                taken += 1
+            shed = gw.predict(_marker_plans(3.0), env_features=ENV)
+            assert shed.fallback and shed.reason == "pacer-limit"
+            # The warm-up delivery measured the path, so the hint is real.
+            assert shed.retry_after is not None and shed.retry_after > 0.0
+            stats = gw.stats()
+            assert stats["histograms"]["retry_after_seconds"]["count"] == 1
+            assert stats["pacer"]["next_admit_eta_seconds"] > 0.0
+            gw.pacer.release(taken)
+
+    def test_gateway_queue_shed_has_no_retry_after(self):
+        service = _StubService(delay=0.2)
+        config = GatewayConfig(max_queue_depth=1)
+        with OptimizerGateway(
+            service, config=config, fallback=_StubFallback()
+        ) as gw:
+            t = threading.Thread(target=gw.predict, args=(_marker_plans(1.0),))
+            t.start()
+            time.sleep(0.05)
+            threads = [
+                threading.Thread(target=gw.predict, args=(_marker_plans(2.0),))
+                for _ in range(2)
+            ]
+            for th in threads:
+                th.start()
+            time.sleep(0.05)
+            shed = gw.predict(_marker_plans(3.0), env_features=ENV)
+            assert shed.fallback and shed.reason == "shed"
+            assert shed.retry_after is None
+            t.join()
+            for th in threads:
+                th.join()
+
+    @needs_fork
+    def test_fleet_pacer_limit_shed_carries_retry_after(self, fleet_checkpoint):
+        path, _predictor, plans = fleet_checkpoint
+        with ServingFleet(path, n_workers=2, pacer_config=PacerConfig()) as fleet:
+            by_shard = _one_tenant_per_shard(fleet)
+            for tenant in by_shard.values():
+                fleet.predict(tenant, plans[:4], env_features=ENV)
+            shard = fleet.router.route("victim")
+            pacer = fleet._pacers[shard]
+            taken = 0
+            while pacer.try_admit():
+                taken += 1
+            r = fleet.predict("victim", plans[:4], env_features=ENV)
+            assert r.fallback and r.reason == "pacer-limit"
+            assert r.retry_after is not None and r.retry_after > 0.0
+            stats = fleet.stats()
+            assert stats["pacers"][shard]["next_admit_eta_seconds"] > 0.0
+            snapshot = fleet.telemetry.snapshot()
+            assert snapshot["histograms"]["retry_after_seconds"]["count"] == 1
+            pacer.release(taken)

@@ -421,3 +421,89 @@ def test_fleet_throughput(benchmark, fleet_setup, scale):
     ), (fleet_metrics["prediction_hit_rate"], baseline["prediction_hit_rate"])
     assert promote["post_promote_cold_misses"] == 0
     assert chaos["workers_alive"] == N_WORKERS - 1
+
+
+@pytest.mark.skipif(not fork_available(), reason="fleet requires fork")
+def test_fleet_trace_stitch(benchmark, fleet_setup, scale):
+    """Cross-process trace stitching at sample_rate 1.0: every request's
+    ``trace_id`` must resolve through ``ServingFleet.span_tree`` to a
+    complete span tree whose spans come from BOTH the routing parent and a
+    forked worker process.  Results land in ``BENCH_obs.json``."""
+    from conftest import update_obs_artifact
+    from repro.obs import ObsConfig
+
+    registry, _predictor, candidate_sets, tenant_envs, traffic = fleet_setup
+    checkpoint = registry.root / registry.current.path
+    n = min(len(traffic), 96)
+    items = [
+        (int(t), candidate_sets[int(t) % len(candidate_sets)], tenant_envs[int(t)])
+        for t in traffic[:n]
+    ]
+
+    obs = ObsConfig(sample_rate=1.0, seed=1234)
+
+    def run():
+        complete = incomplete = 0
+        cross_process = 0
+        with ServingFleet(
+            checkpoint,
+            n_workers=N_WORKERS,
+            service_kwargs=SERVICE_KWARGS,
+            obs=obs,
+        ) as fleet:
+            results, metrics = _drive(
+                items,
+                CLIENT_THREADS,
+                lambda item: fleet.predict(
+                    f"tenant-{item[0]}",
+                    item[1],
+                    env_features=item[2],
+                    plans_key=f"cs-{item[0] % len(candidate_sets)}",
+                ),
+            )
+            assert all(r.source == "learned" for r in results)
+            assert all(r.trace_id is not None for r in results)
+            for result in results:
+                tree = fleet.span_tree(result.trace_id)
+                if tree is None or not tree.is_complete():
+                    incomplete += 1
+                    continue
+                complete += 1
+                processes = {label for label, _pid in tree.processes()}
+                if "fleet-parent" in processes and any(
+                    label.startswith("shard-") for label in processes
+                ):
+                    cross_process += 1
+            sample_tree = fleet.span_tree(results[0].trace_id).render()
+        return complete, incomplete, cross_process, metrics, sample_tree
+
+    complete, incomplete, cross_process, metrics, sample_tree = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    print_banner("Fleet trace stitching - sampled requests resolve span trees")
+    print(sample_tree)
+    print(
+        f"{complete}/{len(items)} trees complete, {cross_process} spanning "
+        f"parent+worker, {incomplete} incomplete"
+    )
+
+    update_obs_artifact(
+        "fleet_tracing",
+        {
+            "scale": scale.name,
+            "n_requests": len(items),
+            "n_workers": N_WORKERS,
+            "sample_rate": obs.sample_rate,
+            "trees_complete": complete,
+            "trees_incomplete": incomplete,
+            "trees_cross_process": cross_process,
+            "requests_per_sec": metrics["requests_per_sec"],
+        },
+    )
+
+    # Acceptance gates (ISSUE 10): every sampled trace stitches completely
+    # and spans both sides of the process boundary.
+    assert incomplete == 0, incomplete
+    assert complete == len(items)
+    assert cross_process == len(items)

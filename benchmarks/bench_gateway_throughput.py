@@ -23,6 +23,12 @@ predictions match the direct service within 1e-5 relative tolerance, zero
 fallbacks on the healthy path, a generous p99 latency ceiling, 100 %
 answered-with-finite-costs under total learned-path failure, and a nonzero
 shed rate under overload with every shed request still answered.
+
+``test_gateway_tracing`` measures the observability tax separately: the
+same stream driven tracing-off vs sampled-on (1/16), interleaved
+best-of-3 so machine noise hits both modes alike, gated at ≤5 % loss;
+its chaos rerun must auto-dump the flight recorder on the breaker trip.
+That phase's numbers land in the shared ``BENCH_obs.json`` artifact.
 """
 
 from __future__ import annotations
@@ -278,3 +284,153 @@ def test_gateway_throughput(benchmark, gateway_setup, scale):
     # Overload sheds rather than queueing unboundedly, and still answers.
     assert shed["shed"] >= 1
     assert shed["fallbacks"] >= shed["shed"]
+
+
+#: Sampled-on tracing may cost at most this fraction of tracing-off
+#: throughput (the ISSUE 10 acceptance gate: ≤5 % loss at 1/16 sampling).
+#: At smoke scale the per-pass work is tiny (~25 ms of ~100 µs requests)
+#: and repeated A/A runs of the very same configuration differ by ±5-8 %
+#: on a loaded machine, so the smoke gate carries a noise allowance the
+#: way fig10's accuracy band does; small/paper rounds are long enough to
+#: resolve the real 5 % budget.
+TRACING_MIN_THROUGHPUT_RATIO = 0.95
+TRACING_MIN_THROUGHPUT_RATIO_SMOKE = 0.88
+TRACING_SAMPLE_RATE = 1.0 / 16.0
+#: Off/on rounds run as PAIRS with alternating order (off-on, on-off, ...)
+#: and the gate compares the median of per-pair on/off ratios: slow-machine
+#: drift lands on both sides of each pair, and the balanced order cancels
+#: warming trends that a fixed order would bias one way.
+TRACING_PAIRS = 6
+#: Each measured round repeats the item stream until it lasts at least
+#: this long — a single smoke pass is far inside scheduling noise.
+TRACING_ROUND_SECONDS = 0.5
+
+
+def test_gateway_tracing(benchmark, gateway_setup, scale):
+    """Observability tax + incident forensics on the gateway path.
+
+    Tracing-off and sampled-on rounds run as adjacent pairs with
+    alternating order, and the gate compares the MEDIAN of per-pair
+    on/off ratios — slow-machine drift lands inside each pair, and the
+    balanced order cancels warming trends (see the constants above).
+    """
+    import tempfile
+
+    from conftest import update_obs_artifact
+    from repro.obs import FlightRecorder, SLOConfig, SLOMonitor, Tracer
+
+    predictor, candidate_sets = gateway_setup
+    service = CostInferenceService(predictor)
+    items = _work_items(candidate_sets)
+
+    plans_scored = sum(len(plans) for plans, _ in items)
+
+    def measure(tracer, reps):
+        service.clear_caches()
+        with OptimizerGateway(service, tracer=tracer) as gw:
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                results, _ = _drive(gw, items, 4)
+            total = time.perf_counter() - t0
+            assert all(r.source == "learned" for r in results)
+        return reps * plans_scored / total
+
+    def run():
+        # Pilot pass sizes the repetition count so each measured round
+        # lasts ≥ TRACING_ROUND_SECONDS regardless of scale.
+        pilot_rate = measure(None, 1)
+        pass_seconds = plans_scored / pilot_rate
+        reps = max(1, int(round(TRACING_ROUND_SECONDS / max(pass_seconds, 1e-4))))
+
+        # Warm both modes once, unmeasured: the first rounds after a cold
+        # start run visibly slower and would bias whichever mode went first.
+        measure(None, reps)
+        measure(Tracer(TRACING_SAMPLE_RATE, seed=1000), reps)
+
+        off_rates, on_rates, pair_ratios = [], [], []
+        sampled_spans = 0
+        for pair_index in range(TRACING_PAIRS):
+            tracer = Tracer(TRACING_SAMPLE_RATE, seed=pair_index)
+            if pair_index % 2 == 0:
+                off = measure(None, reps)
+                on = measure(tracer, reps)
+            else:
+                on = measure(tracer, reps)
+                off = measure(None, reps)
+            off_rates.append(off)
+            on_rates.append(on)
+            pair_ratios.append(on / off)
+            sampled_spans += tracer.stats()["spans_started"]
+
+        # Chaos rerun with the recorder attached: the breaker trip must
+        # auto-dump the ring for post-incident forensics.
+        dump_dir = tempfile.mkdtemp(prefix="bench-flight-")
+        recorder = FlightRecorder(dump_dir=dump_dir, process_label="bench-gateway")
+        slo = SLOMonitor(SLOConfig())
+        service.clear_caches()
+        with OptimizerGateway(
+            service, tracer=Tracer(TRACING_SAMPLE_RATE, seed=0),
+            recorder=recorder, slo=slo,
+        ) as gw:
+            gw.inject_faults(10**9)
+            results, _ = _drive(gw, items, 4)
+            assert all(np.isfinite(r.costs).all() for r in results)
+            trips = gw.stats()["counters"].get("breaker_trips_total", 0)
+        return off_rates, on_rates, pair_ratios, sampled_spans, recorder, trips, reps
+
+    off_rates, on_rates, pair_ratios, sampled_spans, recorder, trips, reps = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+
+    ordered = sorted(pair_ratios)
+    mid = len(ordered) // 2
+    ratio = (
+        ordered[mid]
+        if len(ordered) % 2
+        else (ordered[mid - 1] + ordered[mid]) / 2
+    )
+    gate = (
+        TRACING_MIN_THROUGHPUT_RATIO_SMOKE
+        if scale.name == "smoke"
+        else TRACING_MIN_THROUGHPUT_RATIO
+    )
+    print_banner("Gateway tracing overhead - off vs sampled-on (1/16)")
+    print(
+        f"off:  median {sorted(off_rates)[len(off_rates) // 2]:,.0f} plans/sec "
+        f"over {TRACING_PAIRS} pairs ({reps} passes each)\n"
+        f"on:   median {sorted(on_rates)[len(on_rates) // 2]:,.0f} plans/sec "
+        f"({sampled_spans} spans sampled)\n"
+        f"pair ratios {[f'{r:.3f}' for r in pair_ratios]}\n"
+        f"median ratio {ratio:.3f} (gate ≥ {gate} at {scale.name} scale)\n"
+        f"chaos: {trips:.0f} breaker trip(s), "
+        f"{recorder.dumps_total} flight dump(s) at {recorder.last_dump_path}"
+    )
+
+    update_obs_artifact(
+        "gateway_tracing",
+        {
+            "scale": scale.name,
+            "sample_rate": TRACING_SAMPLE_RATE,
+            "pairs": TRACING_PAIRS,
+            "passes_per_round": reps,
+            "plans_per_sec_off": off_rates,
+            "plans_per_sec_on": on_rates,
+            "pair_ratios": pair_ratios,
+            "throughput_ratio": ratio,
+            "gate": gate,
+            "spans_sampled": sampled_spans,
+            "breaker_trips": float(trips),
+            "flight_dumps": recorder.dumps_total,
+            "flight_dump_path": recorder.last_dump_path,
+        },
+    )
+
+    # Acceptance gates (ISSUE 10).
+    assert ratio >= gate, (pair_ratios, ratio)
+    assert sampled_spans >= 1  # the tax was actually paid, not skipped
+    assert trips >= 1
+    assert recorder.dumps_total >= 1
+    with open(recorder.last_dump_path) as fh:
+        lines = [json.loads(line) for line in fh if line.strip()]
+    assert lines[0]["reason"] == "breaker-trip"
+    assert any(e.get("kind") == "breaker-trip" for e in lines[1:])

@@ -18,10 +18,16 @@
 # scenario-matrix benchmark (BENCH_scenarios.json: trace-style workloads
 # with regime injection replayed against the paced gateway and sharded
 # fleet — per-regime p99/shed/learned rates, drift retrain+promote
-# through the lifecycle, fixed-seed digest determinism), and the fig11
+# through the lifecycle, fixed-seed digest determinism), the
+# observability benchmark sections (BENCH_obs.json: gateway tracing
+# overhead off vs sampled-on, flight-recorder dump on breaker trip,
+# cross-process fleet span-tree stitching), and the fig11
 # adaptive-training scenario routed through the model lifecycle
 # subsystem (registry + feedback + drift + canary), so successive PRs can
-# track all seven trajectories.
+# track all eight trajectories.  At the end,
+# check_bench_regressions.py compares every fresh artifact against the
+# committed baselines (snapshotted before the benches overwrite them) and
+# writes BENCH_verdict.json.
 #
 # Usage:
 #   benchmarks/run_bench.sh                  # artifacts -> benchmarks/BENCH_*.json
@@ -39,6 +45,13 @@ export BENCH_GATEWAY_OUT="${BENCH_GATEWAY_OUT:-${REPO_ROOT}/benchmarks/BENCH_gat
 export BENCH_FLEET_OUT="${BENCH_FLEET_OUT:-${REPO_ROOT}/benchmarks/BENCH_fleet.json}"
 export BENCH_PACER_OUT="${BENCH_PACER_OUT:-${REPO_ROOT}/benchmarks/BENCH_pacer.json}"
 export BENCH_SCENARIOS_OUT="${BENCH_SCENARIOS_OUT:-${REPO_ROOT}/benchmarks/BENCH_scenarios.json}"
+export BENCH_OBS_OUT="${BENCH_OBS_OUT:-${REPO_ROOT}/benchmarks/BENCH_obs.json}"
+
+# The benches overwrite the committed BENCH_*.json in place, so snapshot
+# them first: check_bench_regressions.py compares fresh vs this snapshot
+# at the end of the run.
+BENCH_BASELINE_DIR="$(mktemp -d -t bench-baselines-XXXXXX)"
+cp "${REPO_ROOT}"/benchmarks/BENCH_*.json "${BENCH_BASELINE_DIR}/" 2>/dev/null || true
 
 echo "== tier-1 tests (REPRO_SCALE=${REPRO_SCALE}) =="
 python -m pytest "${REPO_ROOT}/tests" -x -q
@@ -84,8 +97,19 @@ echo "== scenario self-check (drift retrain+promote, steady quiet, stable digest
 python -m repro scenarios
 
 echo
+echo "== trace self-check (span trees, flight dump, SLO burn-rate export) =="
+python -m repro trace
+
+echo
 echo "== fig11 adaptive training through the model lifecycle =="
 (cd "${REPO_ROOT}/benchmarks" && python -m pytest bench_fig11_adaptive_training.py -q -s)
+
+echo
+echo "== bench regression check (fresh vs committed baselines) =="
+python "${REPO_ROOT}/benchmarks/check_bench_regressions.py" \
+  --baseline-dir "${BENCH_BASELINE_DIR}" \
+  --fresh-dir "${REPO_ROOT}/benchmarks" \
+  --out "${REPO_ROOT}/benchmarks/BENCH_verdict.json"
 
 echo
 echo "== artifacts =="
@@ -193,4 +217,21 @@ if bursty_fleet and steady_fleet:
         f"{bursty_fleet['shed_deadline']} deadline"
     )
 print("; ".join(parts))
+EOF
+echo "${BENCH_OBS_OUT}"
+python - "${BENCH_OBS_OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    artifact = json.load(fh)
+gw = artifact["gateway_tracing"]
+fl = artifact["fleet_tracing"]
+print(
+    f"gateway tracing ratio {gw['throughput_ratio']:.3f} "
+    f"(gate {gw['gate']}, {gw['spans_sampled']} spans at "
+    f"1/{round(1/gw['sample_rate'])} sampling), "
+    f"{gw['flight_dumps']} flight dump(s) on {gw['breaker_trips']:.0f} "
+    f"breaker trip(s); fleet {fl['trees_complete']}/{fl['n_requests']} "
+    f"complete span trees, {fl['trees_cross_process']} cross-process "
+    f"over {fl['n_workers']} workers"
+)
 EOF

@@ -41,7 +41,13 @@ Commands
               bit-identical stream and outcome digests.  ``--list``
               prints the scenario registry; ``--scenario NAME`` replays
               one scenario against ``--target gateway|fleet`` and prints
-              its per-regime table.
+              its per-regime table;
+``trace``     run the observability self-check: a traced request must
+              stitch into one complete span tree (gateway request →
+              coalesced batch → serving kernels), a forced breaker trip
+              must auto-dump the flight recorder's ring as JSONL, and
+              the SLO monitor's burn-rate gauges must appear in the
+              Prometheus exposition.  Exits non-zero if any check fails.
 
 All commands are deterministic given ``--seed`` (the ``gateway`` command's
 traffic is concurrent, so request *interleaving* — not results — may vary).
@@ -139,6 +145,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     scenarios.add_argument(
         "--epochs", type=int, default=10, help="incumbent training epochs"
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="observability self-check: span stitching, flight recorder, SLO export",
+    )
+    trace.add_argument("--days", type=int, default=4, help="history days to simulate")
+    trace.add_argument("--epochs", type=int, default=2, help="predictor training epochs")
+    trace.add_argument(
+        "--dump-dir",
+        default=None,
+        help="directory for flight-recorder dumps (default: a temp dir)",
     )
     return parser
 
@@ -1015,6 +1033,124 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Observability self-check: a traced request must stitch into one
+    complete span tree down to the serving kernels, a forced breaker trip
+    must auto-dump the flight recorder, and the SLO monitor's burn rates
+    must export through the Prometheus surface.  Exits non-zero on any
+    violation — suitable as a CI job."""
+    import json
+    import tempfile
+
+    from repro.core.explorer import PlanExplorer
+    from repro.core.predictor import AdaptiveCostPredictor, PredictorConfig
+    from repro.gateway import BreakerConfig, GatewayConfig, OptimizerGateway
+    from repro.obs import (
+        FlightRecorder,
+        SLOConfig,
+        SLOMonitor,
+        SpanCollector,
+        Tracer,
+    )
+    from repro.serving.service import CostInferenceService
+    from repro.warehouse.workload import ProjectProfile, generate_project
+
+    failures: list[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(("  ok   " if ok else "  FAIL ") + what)
+        if not ok:
+            failures.append(what)
+
+    profile = ProjectProfile(
+        name="cli-trace", seed=args.seed, n_tables=10, n_templates=8,
+        stats_availability=0.2, row_scale=2e5, n_machines=40,
+    )
+    print(f"Simulating {args.days} days of history on {profile.name!r}...")
+    workload = generate_project(profile)
+    workload.simulate_history(args.days, max_queries_per_day=25)
+    records = workload.repository.records[:80]
+    predictor = AdaptiveCostPredictor(
+        config=PredictorConfig(hidden_dims=(16, 12), embedding_dim=8,
+                               epochs=args.epochs, batch_size=16)
+    )
+    predictor.fit([r.plan for r in records], [r.cpu_cost for r in records])
+    env = (0.5, 0.05, 0.5, 0.5)
+    explorer = PlanExplorer(workload.optimizer)
+    plans = next(
+        p for p in (explorer.candidates(workload.sample_query(d), top_k=5)
+                    for d in range(args.days))
+        if len(p) >= 2
+    )
+
+    dump_dir = args.dump_dir or tempfile.mkdtemp(prefix="repro-trace-")
+    collector = SpanCollector()
+    tracer = Tracer(1.0, seed=args.seed, collector=collector)
+    recorder = FlightRecorder(dump_dir=dump_dir, process_label="cli-trace")
+    slo = SLOMonitor(SLOConfig())
+    gateway = OptimizerGateway(
+        CostInferenceService(predictor),
+        config=GatewayConfig(
+            breaker=BreakerConfig(window=8, min_calls=4,
+                                  failure_rate_threshold=0.5,
+                                  cooldown_seconds=0.5)
+        ),
+        tracer=tracer, recorder=recorder, slo=slo,
+    )
+
+    print("\n[1] traced request stitches into one complete span tree")
+    result = gateway.predict(plans, env_features=env)
+    check(result.trace_id is not None, "sampled request carries a trace id")
+    tree = collector.tree(result.trace_id) if result.trace_id else None
+    if tree is not None:
+        print()
+        for line in tree.render().splitlines():
+            print("    " + line)
+        print()
+        check(tree.is_complete(), "span tree is complete (every parent resolves)")
+        names = tree.names()
+        check("gateway.request" in names, "tree contains the gateway request span")
+        check("gateway.batch" in names, "tree contains the coalesced batch span")
+        check("serving.forward" in names, "tree reaches the serving forward kernel")
+
+    print("[2] forced breaker trip auto-dumps the flight recorder")
+    gateway.inject_faults(10**9)
+    for _ in range(40):
+        gateway.predict(plans, env_features=env, deadline_ms=200)
+    gateway.inject_faults(0)
+    check(gateway.breaker.stats()["trip_count"] >= 1, "breaker tripped")
+    check(recorder.dumps_total >= 1, "flight recorder auto-dumped")
+    if recorder.last_dump_path is not None:
+        with open(recorder.last_dump_path) as fh:
+            lines = [json.loads(line) for line in fh if line.strip()]
+        check(lines and lines[0].get("reason") == "breaker-trip",
+              "dump header names the breaker trip")
+        check(any(e.get("kind") == "breaker-trip" for e in lines[1:]),
+              "dump contains the breaker-trip event")
+        print(f"  dump: {recorder.last_dump_path}")
+
+    print("[3] SLO burn rates export through Prometheus")
+    snap = slo.snapshot()
+    check(all("burn_rate" in w for w in snap["windows"]),
+          "every SLO window reports a burn rate")
+    text = gateway.to_prometheus()
+    check("slo_hit_rate" in text and "slo_burn_rate" in text,
+          "prometheus text carries SLO gauges")
+    check("slo_alerting" in text, "prometheus text carries the alerting gauge")
+    for line in text.splitlines():
+        if line.startswith("repro_slo"):
+            print("    " + line)
+
+    gateway.close()
+    if failures:
+        print(f"\nERROR: {len(failures)} trace check(s) failed:", file=sys.stderr)
+        for what in failures:
+            print(f"  - {what}", file=sys.stderr)
+        return 1
+    print("\ntrace self-check: all checks passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     np.random.seed(args.seed)  # legacy global, for any stray consumers
@@ -1028,6 +1164,7 @@ def main(argv: list[str] | None = None) -> int:
         "gateway": _cmd_gateway,
         "pacer": _cmd_pacer,
         "scenarios": _cmd_scenarios,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

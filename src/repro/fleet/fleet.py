@@ -44,6 +44,8 @@ from repro.fleet.telemetry import merge_snapshots, merged_to_prometheus
 from repro.fleet.worker import fleet_worker_main
 from repro.gateway import GatewayResult, NativeCostFallback, Telemetry
 from repro.gateway.telemetry import SHED_REASONS
+from repro.obs import FlightRecorder, SLOMonitor, SpanCollector, Tracer
+from repro.obs.trace import NULL_SPAN
 from repro.pacing import AdmissionPacer, PacerConfig
 
 __all__ = ["ServingFleet", "WorkerCrashError"]
@@ -91,6 +93,7 @@ class ServingFleet:
         fallback: NativeCostFallback | None = None,
         telemetry: Telemetry | None = None,
         pacer_config: PacerConfig | None = None,
+        obs=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -104,6 +107,38 @@ class ServingFleet:
         self._req_counter = 0
         self._req_lock = threading.Lock()
         self._closed = False
+        #: Observability (an :class:`repro.obs.ObsConfig`, or ``None`` for
+        #: off): the parent mints ``fleet.request`` spans, ships their
+        #: contexts over the RPC framing, and stitches worker-returned span
+        #: records into complete per-trace trees via the collector; each
+        #: worker builds its own tracer/recorder from the same config with
+        #: a per-worker derived seed.
+        self.obs = obs
+        self.collector = SpanCollector() if obs is not None else None
+        self.recorder = (
+            FlightRecorder(
+                obs.recorder_capacity,
+                dump_dir=obs.dump_dir,
+                process_label="fleet-parent",
+            )
+            if obs is not None
+            else None
+        )
+        self.tracer = (
+            Tracer(
+                obs.sample_rate,
+                seed=obs.seed,
+                export_path=obs.export_path,
+                max_export_per_sec=obs.max_export_per_sec,
+                collector=self.collector,
+                process_label="fleet-parent",
+            )
+            if obs is not None
+            else None
+        )
+        self.slo = (
+            SLOMonitor(obs.slo) if obs is not None and obs.slo is not None else None
+        )
         ctx = mp.get_context("fork")
         self._workers: dict[str, _WorkerHandle] = {}
         for i in range(n_workers):
@@ -120,6 +155,7 @@ class ServingFleet:
                     "service_kwargs": service_kwargs,
                     "gateway_config": gateway_config,
                     "base_seed": base_seed,
+                    "obs_config": obs,
                 },
                 name=f"fleet-{name}",
                 daemon=True,
@@ -193,6 +229,15 @@ class ServingFleet:
         self.telemetry.gauge("workers_alive", "live fleet workers").set(
             len(self.live_workers())
         )
+        if self.recorder is not None:
+            # Incident kind: snapshots the parent's recent spans/events so
+            # the traffic leading up to the loss is reconstructable.
+            self.recorder.record(
+                "worker-crash",
+                handle.name,
+                cause=str(cause),
+                workers_alive=len(self.live_workers()),
+            )
         try:
             handle.conn.close()
         except OSError:
@@ -211,6 +256,7 @@ class ServingFleet:
         env_features=None,
         deadline_ms: float | None = None,
         plans_key=None,
+        trace=None,
     ) -> GatewayResult:
         """Score ``plans`` for ``tenant`` on its pinned shard.  Same contract
         as ``OptimizerGateway.predict`` — always answers, flagging source
@@ -223,6 +269,7 @@ class ServingFleet:
             [env_features],
             deadline_ms=deadline_ms,
             plans_key=plans_key,
+            trace=trace,
         )
         return results[0]
 
@@ -234,9 +281,15 @@ class ServingFleet:
         *,
         deadline_ms: float | None = None,
         plans_key=None,
+        trace=None,
     ) -> list[GatewayResult]:
         """Score one candidate set under every environment of ``env_sweep``
-        in a single round trip to the tenant's shard (batched framing)."""
+        in a single round trip to the tenant's shard (batched framing).
+        With observability on, the parent's ``fleet.request`` span context
+        rides the framing into the worker, whose span records ride the
+        reply back — ``span_tree(result.trace_id)`` then reconstructs the
+        request across both processes.  ``trace`` joins an upstream trace
+        (e.g. a scenario replay's deterministic context)."""
         started = time.monotonic()
         self.telemetry.counter("requests_total", "fleet requests received").inc()
         envs = [
@@ -244,6 +297,16 @@ class ServingFleet:
             for env in env_sweep
         ]
         plans = list(plans)
+        span = (
+            self.tracer.start_trace(
+                "fleet.request",
+                parent=trace,
+                attrs={"tenant": tenant, "n_plans": len(plans), "n_envs": len(envs)},
+            )
+            if self.tracer is not None
+            else NULL_SPAN
+        )
+        trace_wire = span.context.to_wire() if span.sampled else None
         # A crash mid-request sheds to the fallback; a crash detected at
         # routing time retries on the shrunken ring (the survivors own the
         # dead shard's keyspace).
@@ -255,6 +318,8 @@ class ServingFleet:
             handle = self._workers[shard]
             if not handle.alive:
                 continue
+            if span.sampled:
+                span.set_attr("shard", shard)
             pacer = self._pacers.get(shard)
             if pacer is not None and not pacer.try_admit():
                 return self._shed(
@@ -263,6 +328,8 @@ class ServingFleet:
                     started,
                     reason="pacer-limit",
                     retry_after=pacer.next_admit_eta(),
+                    span=span,
+                    pacer_state=pacer.state,
                 )
             send_plans = plans if plans_key is None or plans_key not in handle.sent_keys else None
             req_id = self._next_req_id()
@@ -270,7 +337,8 @@ class ServingFleet:
             try:
                 reply = self._rpc(
                     handle,
-                    ("predict", req_id, plans_key, send_plans, envs, deadline_ms),
+                    ("predict", req_id, plans_key, send_plans, envs, deadline_ms,
+                     trace_wire),
                 )
                 if reply[0] == "need-plans":
                     # Worker evicted (or never saw) this key; resend inline.
@@ -278,13 +346,16 @@ class ServingFleet:
                     req_id = self._next_req_id()
                     reply = self._rpc(
                         handle,
-                        ("predict", req_id, plans_key, plans, envs, deadline_ms),
+                        ("predict", req_id, plans_key, plans, envs, deadline_ms,
+                         trace_wire),
                     )
             except WorkerCrashError:
                 if pacer is not None:
                     # A crashed RPC measures nothing; hand back the slot.
                     pacer.release()
-                return self._shed(plans, envs, started, reason="worker-crash")
+                return self._shed(
+                    plans, envs, started, reason="worker-crash", span=span
+                )
             if pacer is not None:
                 # The whole round trip (including a need-plans resend — that
                 # cost is real admission cost) is one delivery sample.
@@ -294,16 +365,50 @@ class ServingFleet:
             if plans_key is not None:
                 handle.sent_keys.add(plans_key)
             latency_ms = 1e3 * (time.monotonic() - started)
-            return [
-                GatewayResult(np.asarray(costs), source, reason, latency_ms, version)
+            if self.collector is not None and len(reply) > 3:
+                # Worker-side span records for this trace rode the reply;
+                # stitch them with the parent's own spans.
+                self.collector.add_many(reply[3])
+            results = [
+                GatewayResult(
+                    np.asarray(costs),
+                    source,
+                    reason,
+                    latency_ms,
+                    version,
+                    trace_id=span.trace_id,
+                )
                 for costs, source, reason, version in reply[2]
             ]
+            if self.slo is not None:
+                hit = all(r.reason != "deadline" for r in results)
+                self.slo.record(latency_ms / 1e3, deadline_hit=hit)
+            if span.sampled:
+                span.set_attrs(
+                    source=results[0].source if results else None,
+                    reason=results[0].reason if results else None,
+                    weights_version=results[0].model_version if results else None,
+                )
+                span.finish()
+            return results
         return self._shed(
-            plans, envs, started, reason="closed" if self._closed else "no-workers"
+            plans,
+            envs,
+            started,
+            reason="closed" if self._closed else "no-workers",
+            span=span,
         )
 
     def _shed(
-        self, plans, envs, started, *, reason: str, retry_after: float | None = None
+        self,
+        plans,
+        envs,
+        started,
+        *,
+        reason: str,
+        retry_after: float | None = None,
+        span=NULL_SPAN,
+        pacer_state: str | None = None,
     ) -> list[GatewayResult]:
         """Answer a request the fleet could not place from the parent-side
         native fallback — the fleet keeps the gateway's one invariant."""
@@ -315,12 +420,25 @@ class ServingFleet:
         ).inc()
         if reason in SHED_REASONS:
             self.telemetry.record_shed(reason)
+            if self.recorder is not None:
+                self.recorder.note_shed(reason)
         if retry_after is not None:
             self.telemetry.histogram(
                 "retry_after_seconds",
                 "Retry-After hints attached to per-shard pacer-limit sheds",
             ).observe(float(retry_after))
         latency_ms = 1e3 * (time.monotonic() - started)
+        if self.slo is not None:
+            self.slo.record(latency_ms / 1e3, deadline_hit=reason != "deadline")
+        if span.sampled:
+            span.set_attrs(source="fallback", reason=reason)
+            if reason in SHED_REASONS:
+                span.set_attr("shed_reason", reason)
+            if retry_after is not None:
+                span.set_attr("retry_after", retry_after)
+            if pacer_state is not None:
+                span.set_attr("pacer_state", pacer_state)
+            span.finish()
         return [
             GatewayResult(
                 self.fallback.predict(plans, env_features=env),
@@ -329,6 +447,7 @@ class ServingFleet:
                 latency_ms,
                 None,
                 retry_after=retry_after,
+                trace_id=span.trace_id,
             )
             for env in envs
         ]
@@ -398,6 +517,13 @@ class ServingFleet:
             out[name] = reply[3]
         return out
 
+    def span_tree(self, trace_id):
+        """The stitched cross-process span tree for one traced request
+        (:class:`repro.obs.SpanTree`); raises when observability is off."""
+        if self.collector is None:
+            raise RuntimeError("span_tree requires the fleet's obs config")
+        return self.collector.tree(trace_id)
+
     def stats(self) -> dict:
         """Fleet-wide operational snapshot: per-shard gateway telemetry,
         the merged view, and the parent's fleet-level counters."""
@@ -424,11 +550,21 @@ class ServingFleet:
                 for name, pacer in self._pacers.items()
                 if self._workers[name].alive
             }
+        if self.tracer is not None:
+            out["tracing"] = self.tracer.stats()
+        if self.collector is not None:
+            out["collector"] = self.collector.stats()
+        if self.recorder is not None:
+            out["flight_recorder"] = self.recorder.stats()
+        if self.slo is not None:
+            out["slo"] = self.slo.snapshot()
         return out
 
     def to_prometheus(self) -> str:
         """One text exposition: merged per-shard metrics under
         ``repro_fleet`` plus parent-side counters under ``repro_fleet_parent``."""
+        if self.slo is not None:
+            self.slo.export(self.telemetry)
         stats = self.stats()
         parent = self.telemetry
         parent_ns = parent.namespace

@@ -28,7 +28,7 @@ under the ``repro_fleet`` namespace.
 
 from __future__ import annotations
 
-from repro.gateway.telemetry import QUANTILES, _sanitize
+from repro.gateway.telemetry import QUANTILES, _sanitize, escape_label_value
 
 __all__ = ["merge_snapshots", "merged_to_prometheus"]
 
@@ -78,6 +78,7 @@ def merge_snapshots(snapshots: list[dict]) -> dict:
                     out["min"], out["max"] = hist["min"], hist["max"]
             out["count"] += hist["count"]
             out["sum"] += hist["sum"]
+            out["nonfinite"] = out.get("nonfinite", 0) + hist.get("nonfinite", 0)
             for key in _QUANTILE_KEYS:
                 out[key] = max(out[key], hist[key])
             out["mean"] = out["sum"] / out["count"] if out["count"] else 0.0
@@ -113,7 +114,8 @@ def merged_to_prometheus(merged: dict, *, namespace: str = "repro_fleet") -> str
         metric = f"{ns}_{_sanitize(name)}"
         lines.append(f"# TYPE {metric} summary")
         for q, key in zip(QUANTILES, _QUANTILE_KEYS):
-            lines.append(f'{metric}{{quantile="{q:g}"}} {hist[key]:.10g}')
+            label = escape_label_value(f"{q:g}")
+            lines.append(f'{metric}{{quantile="{label}"}} {hist[key]:.10g}')
         lines.append(f"{metric}_sum {hist['sum']:.10g}")
         lines.append(f"{metric}_count {hist['count']}")
     return "\n".join(lines) + "\n"

@@ -11,13 +11,18 @@ promoted checkpoint and serves a full single-process stack:
 talks to it over one duplex ``multiprocessing`` connection with a small
 framed protocol:
 
-``("predict", req_id, plans_key, plans, envs, deadline_ms)``
+``("predict", req_id, plans_key, plans, envs, deadline_ms, trace_wire)``
     Score one candidate set under each environment of ``envs`` (batched
     framing: a whole environment sweep rides one round trip).  ``plans``
     may be ``None`` when ``plans_key`` was shipped before — the worker
     keeps an LRU of recently seen candidate sets so steady-state traffic
     never pickles plan trees across the pipe; an unknown key answers
     ``("need-plans", req_id)`` and the client resends with plans attached.
+    ``trace_wire`` is the parent's serialized
+    :class:`~repro.obs.TraceContext` (or ``None``): the worker's gateway
+    spans join the parent's trace, and their finished records ride the
+    ``("ok", req_id, results, spans)`` reply back for cross-process
+    stitching.
 ``("load", req_id, checkpoint_path, warm)``
     Staged promote: load the checkpoint, hot-swap it into the service
     (``swap_predictor(..., warm=...)`` re-scoring the warm list so the
@@ -44,7 +49,32 @@ __all__ = ["fleet_worker_main"]
 _PLAN_CACHE_CAP = 512
 
 
-def _build_gateway(checkpoint_path, service_kwargs, gateway_config):
+def _build_obs(obs_config, worker_id, base_seed):
+    """Per-worker tracer + recorder from the fleet's shared obs config.
+    The tracer's seed is derived per worker so seeded fleets mint
+    deterministic — and never colliding — span ids across shards."""
+    if obs_config is None:
+        return None, None, None
+    from repro.obs import FlightRecorder, SLOMonitor, Tracer
+
+    seed = (
+        derive_seed(obs_config.seed, f"trace-{worker_id}")
+        if obs_config.seed is not None
+        else None
+    )
+    tracer = Tracer(
+        obs_config.sample_rate, seed=seed, process_label=worker_id
+    )
+    recorder = FlightRecorder(
+        obs_config.recorder_capacity,
+        dump_dir=obs_config.dump_dir,
+        process_label=worker_id,
+    )
+    slo = SLOMonitor(obs_config.slo) if obs_config.slo is not None else None
+    return tracer, recorder, slo
+
+
+def _build_gateway(checkpoint_path, service_kwargs, gateway_config, obs=(None, None, None)):
     from repro.gateway import OptimizerGateway
     from repro.serving.service import CostInferenceService
 
@@ -53,7 +83,10 @@ def _build_gateway(checkpoint_path, service_kwargs, gateway_config):
         service = CostInferenceService.from_checkpoint(
             checkpoint_path, **(service_kwargs or {})
         )
-    return OptimizerGateway(service, config=gateway_config)
+    tracer, recorder, slo = obs
+    return OptimizerGateway(
+        service, config=gateway_config, tracer=tracer, recorder=recorder, slo=slo
+    )
 
 
 def fleet_worker_main(
@@ -64,11 +97,15 @@ def fleet_worker_main(
     service_kwargs: dict | None = None,
     gateway_config=None,
     base_seed: int = 0,
+    obs_config=None,
 ) -> None:
     """Entry point of one forked fleet worker (blocks until ``close``)."""
     pin_blas_threads()
     seed = derive_seed(base_seed, f"fleet-{worker_id}")
-    gateway = _build_gateway(checkpoint_path, service_kwargs, gateway_config)
+    tracer, recorder, slo = _build_obs(obs_config, worker_id, base_seed)
+    gateway = _build_gateway(
+        checkpoint_path, service_kwargs, gateway_config, obs=(tracer, recorder, slo)
+    )
     plan_cache: "OrderedDict[object, list]" = OrderedDict()
 
     try:
@@ -80,7 +117,7 @@ def fleet_worker_main(
             kind, req_id = message[0], message[1]
 
             if kind == "predict":
-                _, _, plans_key, plans, envs, deadline_ms = message
+                _, _, plans_key, plans, envs, deadline_ms, trace_wire = message
                 if plans is None:
                     plans = plan_cache.get(plans_key)
                     if plans is None:
@@ -92,13 +129,28 @@ def fleet_worker_main(
                     plan_cache.move_to_end(plans_key)
                     while len(plan_cache) > _PLAN_CACHE_CAP:
                         plan_cache.popitem(last=False)
+                parent_ctx = None
+                if trace_wire is not None and tracer is not None:
+                    from repro.obs import TraceContext
+
+                    parent_ctx = TraceContext.from_wire(trace_wire)
                 results = []
                 for env in envs:
                     r = gateway.predict(
-                        plans, env_features=env, deadline_ms=deadline_ms
+                        plans,
+                        env_features=env,
+                        deadline_ms=deadline_ms,
+                        trace=parent_ctx,
                     )
                     results.append((r.costs, r.source, r.reason, r.model_version))
-                conn.send(("ok", req_id, results))
+                # This worker's finished spans for the trace ride the reply
+                # back to the parent's collector (cross-process stitching).
+                spans = (
+                    tracer.drain(trace_id=parent_ctx.trace_id)
+                    if parent_ctx is not None
+                    else []
+                )
+                conn.send(("ok", req_id, results, spans))
 
             elif kind == "load":
                 _, _, path, warm = message

@@ -48,6 +48,7 @@ import numpy as np
 from repro.gateway.breaker import BreakerConfig, CircuitBreaker
 from repro.gateway.fallback import NativeCostFallback
 from repro.gateway.telemetry import Telemetry
+from repro.obs.trace import NULL_SPAN, activate_span
 from repro.pacing import AdmissionPacer, PacerConfig
 
 __all__ = ["GatewayClosedError", "GatewayConfig", "GatewayResult", "OptimizerGateway"]
@@ -100,6 +101,7 @@ class GatewayResult:
 
     __slots__ = (
         "costs", "source", "reason", "latency_ms", "model_version", "retry_after",
+        "trace_id",
     )
 
     def __init__(
@@ -111,6 +113,7 @@ class GatewayResult:
         model_version: int | None,
         *,
         retry_after: float | None = None,
+        trace_id: str | None = None,
     ) -> None:
         self.costs = costs
         self.source = source  # "learned" | "fallback"
@@ -121,6 +124,10 @@ class GatewayResult:
         #: an admission would succeed (HTTP Retry-After analogue).  ``None``
         #: everywhere else, and on sheds from an unmeasured pacer.
         self.retry_after = retry_after
+        #: Id of the distributed trace this request was sampled into, or
+        #: ``None`` when tracing is off/unsampled.  Feed it to the owning
+        #: fleet's ``span_tree`` to reconstruct the request end to end.
+        self.trace_id = trace_id
 
     @property
     def fallback(self) -> bool:
@@ -151,7 +158,7 @@ class _PendingRequest:
 
     __slots__ = (
         "plans", "env_features", "env_key", "deadline", "enqueued_at",
-        "event", "result", "error", "abandoned", "done", "paced",
+        "event", "result", "error", "abandoned", "done", "paced", "span",
     )
 
     def __init__(self, plans, env_features, env_key, deadline, now) -> None:
@@ -168,6 +175,9 @@ class _PendingRequest:
         #: True while this request holds one of the admission pacer's
         #: inflight slots (cleared exactly once, under the gateway lock).
         self.paced = False
+        #: The request's trace span (NULL_SPAN when unsampled); the worker
+        #: reads it to parent the batch span.
+        self.span = NULL_SPAN
 
 
 class OptimizerGateway:
@@ -191,11 +201,22 @@ class OptimizerGateway:
         telemetry: Telemetry | None = None,
         on_trip=None,
         pacer: AdmissionPacer | None = None,
+        tracer=None,
+        recorder=None,
+        slo=None,
     ) -> None:
         self.config = config or GatewayConfig()
         self.fallback = fallback or NativeCostFallback()
         self.telemetry = telemetry or Telemetry()
         self._on_trip = on_trip
+        #: Observability (all optional, all ~free when absent): a
+        #: :class:`repro.obs.Tracer` minting request spans at admission, a
+        #: :class:`repro.obs.FlightRecorder` fed incident events (breaker
+        #: trips auto-dump; sheds feed its storm detector), and a
+        #: :class:`repro.obs.SLOMonitor` fed every finished request.
+        self.tracer = tracer
+        self.recorder = recorder
+        self.slo = slo
         self.breaker = breaker or CircuitBreaker(self.config.breaker)
         if pacer is None and self.config.pacer is not None:
             pacer = AdmissionPacer(self.config.pacer)
@@ -275,25 +296,38 @@ class OptimizerGateway:
         *,
         env_features: tuple[float, float, float, float] | None = None,
         deadline_ms: float | None = None,
+        trace=None,
     ) -> GatewayResult:
         """Score ``plans`` within the deadline budget.  Always returns a
         cost per plan; ``result.source`` says whether the learned model or
-        the native fallback produced it."""
+        the native fallback produced it.  ``trace`` carries an upstream
+        :class:`~repro.obs.TraceContext` (e.g. from the fleet parent) so the
+        request span joins the caller's trace instead of starting one."""
         started = time.monotonic()
         self.telemetry.counter("requests_total", "requests received").inc()
         self.telemetry.counter("plans_total", "plans scored").inc(len(plans))
+        span = (
+            self.tracer.start_trace("gateway.request", parent=trace)
+            if self.tracer is not None
+            else NULL_SPAN
+        )
+        if span.sampled:
+            span.set_attrs(n_plans=len(plans))
         if not len(plans):
             return self._finish(
                 GatewayResult(np.zeros(0), "learned", "ok", 0.0, self._model_version()),
                 started,
+                span=span,
             )
         if deadline_ms is None:
             deadline_ms = self.config.default_deadline_ms
 
         if self._service is None:
-            return self._fallback_result(plans, env_features, "no-model", started)
+            return self._fallback_result(plans, env_features, "no-model", started, span=span)
         if not self.breaker.allow():
-            return self._fallback_result(plans, env_features, "circuit-open", started)
+            return self._fallback_result(
+                plans, env_features, "circuit-open", started, span=span
+            )
         if self.pacer is not None and not self.pacer.try_admit():
             # The pipe (plus its state-dependent headroom) is already full:
             # queueing this request would only buy it latency, not an
@@ -306,6 +340,7 @@ class OptimizerGateway:
                 "pacer-limit",
                 started,
                 retry_after=self.pacer.next_admit_eta(),
+                span=span,
             )
 
         env_key = (
@@ -314,6 +349,7 @@ class OptimizerGateway:
         deadline = started + deadline_ms / 1e3 if deadline_ms is not None else None
         request = _PendingRequest(list(plans), env_features, env_key, deadline, started)
         request.paced = self.pacer is not None
+        request.span = span
 
         with self._work:
             if not self._running:
@@ -332,11 +368,11 @@ class OptimizerGateway:
         if closed:
             self.breaker.release_probe()
             self._pacer_release(request)
-            return self._fallback_result(plans, env_features, "closed", started)
+            return self._fallback_result(plans, env_features, "closed", started, span=span)
         if shed:
             self.breaker.release_probe()
             self._pacer_release(request)
-            return self._fallback_result(plans, env_features, "shed", started)
+            return self._fallback_result(plans, env_features, "shed", started, span=span)
 
         timeout = deadline - time.monotonic() if deadline is not None else None
         if timeout is not None and timeout > 0:
@@ -360,12 +396,13 @@ class OptimizerGateway:
                     self._model_version(),
                 ),
                 started,
+                span=span,
             )
         if done:
             reason = "closed" if isinstance(error, GatewayClosedError) else "model-error"
-            return self._fallback_result(plans, env_features, reason, started)
+            return self._fallback_result(plans, env_features, reason, started, span=span)
         self.telemetry.counter("deadline_miss_total", "requests past budget").inc()
-        return self._fallback_result(plans, env_features, "deadline", started)
+        return self._fallback_result(plans, env_features, "deadline", started, span=span)
 
     def select_best_index(
         self,
@@ -407,7 +444,7 @@ class OptimizerGateway:
     }
 
     def _fallback_result(
-        self, plans, env_features, reason, started, *, retry_after=None
+        self, plans, env_features, reason, started, *, retry_after=None, span=NULL_SPAN
     ) -> GatewayResult:
         costs = self.fallback.predict(list(plans), env_features=env_features)
         self.telemetry.counter("fallback_total", "requests answered by fallback").inc()
@@ -417,6 +454,8 @@ class OptimizerGateway:
         shed_reason = self._SHED_REASONS.get(reason)
         if shed_reason is not None:
             self.telemetry.record_shed(shed_reason)
+            if self.recorder is not None:
+                self.recorder.note_shed(shed_reason)
         if retry_after is not None:
             self.telemetry.histogram(
                 "retry_after_seconds",
@@ -432,14 +471,35 @@ class OptimizerGateway:
                 retry_after=retry_after,
             ),
             started,
+            span=span,
         )
 
-    def _finish(self, result: GatewayResult, started: float) -> GatewayResult:
+    def _finish(
+        self, result: GatewayResult, started: float, *, span=NULL_SPAN
+    ) -> GatewayResult:
         if result.source == "learned":
             self.telemetry.counter("learned_total", "requests answered learned").inc()
+        latency = time.monotonic() - started
         self.telemetry.histogram(
             "request_latency_seconds", "end-to-end request latency"
-        ).observe(time.monotonic() - started)
+        ).observe(latency)
+        if self.slo is not None:
+            self.slo.record(latency, deadline_hit=result.reason != "deadline")
+        if span.sampled:
+            span.set_attrs(
+                source=result.source,
+                reason=result.reason,
+                weights_version=result.model_version,
+            )
+            shed_reason = self._SHED_REASONS.get(result.reason)
+            if shed_reason is not None:
+                span.set_attr("shed_reason", shed_reason)
+            if result.retry_after is not None:
+                span.set_attr("retry_after", result.retry_after)
+            if self.pacer is not None:
+                span.set_attr("pacer_state", self.pacer.state)
+            result.trace_id = span.trace_id
+            span.finish()
         return result
 
     def _breaker_tripped(self, breaker) -> None:
@@ -447,6 +507,18 @@ class OptimizerGateway:
             "breaker_trips_total", "circuit breaker trips"
         ).inc()
         self._sync_gauges()
+        if self.recorder is not None:
+            # Incident kind: the recorder snapshots its ring so the spans
+            # and sheds leading up to the trip survive for reconstruction.
+            breaker_stats = breaker.stats()
+            self.recorder.record(
+                "breaker-trip",
+                "gateway",
+                weights_version=self._model_version(),
+                trip_count=breaker_stats["trip_count"],
+                failure_count=breaker_stats["failure_count"],
+                slow_count=breaker_stats["slow_count"],
+            )
         if self._user_breaker_trip is not None:
             self._user_breaker_trip(breaker)
         if self._on_trip is not None:
@@ -578,6 +650,27 @@ class OptimizerGateway:
     def _execute(self, group: list[_PendingRequest]) -> None:
         all_plans = [plan for request in group for plan in request.plans]
         env_features = group[0].env_features
+        batch_span = NULL_SPAN
+        if self.tracer is not None:
+            # The batch span lives in the first sampled request's trace and
+            # *links* every coalesced request (their ids ride as attributes;
+            # each linked request span points back via batch_span_id).
+            primary = next((r.span for r in group if r.span.sampled), None)
+            if primary is not None:
+                batch_span = self.tracer.start_span(
+                    "gateway.batch",
+                    parent=primary,
+                    attrs={
+                        "n_requests": len(group),
+                        "n_plans": len(all_plans),
+                        "link_trace_ids": [
+                            r.span.trace_id for r in group if r.span.sampled
+                        ],
+                        "link_span_ids": [
+                            r.span.span_id for r in group if r.span.sampled
+                        ],
+                    },
+                )
         started = time.monotonic()
         error: BaseException | None = None
         predictions: np.ndarray | None = None
@@ -588,13 +681,28 @@ class OptimizerGateway:
                     raise self._fault_error or RuntimeError(
                         "injected learned-path fault"
                     )
-            with self._service_lock:
-                predictions = self._service.predict(
-                    all_plans, env_features=env_features
-                )
+            if batch_span.sampled:
+                # Activate so the serving layer's traced_sections (encode /
+                # forward / quantize) nest under this batch.
+                with self._service_lock, activate_span(batch_span):
+                    predictions = self._service.predict(
+                        all_plans, env_features=env_features
+                    )
+            else:
+                with self._service_lock:
+                    predictions = self._service.predict(
+                        all_plans, env_features=env_features
+                    )
         except BaseException as exc:  # noqa: BLE001 — every failure must answer
             error = exc
         elapsed = time.monotonic() - started
+        if batch_span.sampled:
+            if error is not None:
+                batch_span.set_attr("error", repr(error))
+            # Finish before any caller's event fires: when a fleet worker
+            # drains spans for a trace right after predict() returns, the
+            # batch (and nested serving) spans are already buffered.
+            batch_span.finish()
         self.telemetry.counter("batches_total", "learned batches executed").inc()
         self.telemetry.histogram(
             "learned_batch_seconds", "learned-path batch latency"
@@ -619,6 +727,8 @@ class OptimizerGateway:
                 slots += request.paced
                 request.paced = False
                 if not abandoned and not drained:
+                    if request.span.sampled and batch_span.sampled:
+                        request.span.set_attr("batch_span_id", batch_span.span_id)
                     request.done = True
                     if error is not None:
                         request.error = error
@@ -684,12 +794,20 @@ class OptimizerGateway:
         snapshot["breaker"] = self.breaker.stats()
         if self.pacer is not None:
             snapshot["pacer"] = self.pacer.stats()
+        if self.tracer is not None:
+            snapshot["tracing"] = self.tracer.stats()
+        if self.recorder is not None:
+            snapshot["flight_recorder"] = self.recorder.stats()
+        if self.slo is not None:
+            snapshot["slo"] = self.slo.snapshot()
         snapshot["queue_depth"] = depth
         snapshot["has_model"] = self.has_model
         return snapshot
 
     def to_prometheus(self) -> str:
         self._sync_gauges()
+        if self.slo is not None:
+            self.slo.export(self.telemetry)
         return self.telemetry.to_prometheus()
 
     # -- shutdown --------------------------------------------------------------

@@ -21,12 +21,21 @@ threads; exports take a consistent per-instrument snapshot.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from collections import OrderedDict, deque
 from contextlib import contextmanager
 
-__all__ = ["Counter", "Gauge", "Histogram", "SHED_REASONS", "Telemetry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SHED_REASONS",
+    "Telemetry",
+    "escape_label_value",
+    "escape_help_text",
+]
 
 #: Quantiles reported for every histogram, in export order.
 QUANTILES = (0.50, 0.95, 0.99)
@@ -41,6 +50,22 @@ SHED_REASONS = ("queue-full", "pacer-limit", "deadline", "closed")
 def _sanitize(name: str) -> str:
     """Prometheus metric names allow ``[a-zA-Z0-9_:]`` only."""
     return "".join(c if c.isalnum() or c in "_:" else "_" for c in name)
+
+
+def escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and line-feed must be backslash-escaped."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def escape_help_text(text: str) -> str:
+    """HELP lines escape backslash and line-feed (quotes are legal there)."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
 
 
 class Counter:
@@ -120,9 +145,16 @@ class Histogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
+        self._nonfinite = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
+        if not math.isfinite(value):
+            # A single NaN would poison mean/sum forever and an inf would
+            # pin max/quantiles; drop it but keep the evidence countable.
+            with self._lock:
+                self._nonfinite += 1
+            return
         with self._lock:
             self._window.append(value)
             self._count += 1
@@ -141,6 +173,12 @@ class Histogram:
     def sum(self) -> float:
         with self._lock:
             return self._sum
+
+    @property
+    def nonfinite(self) -> int:
+        """Observations rejected for being NaN/inf."""
+        with self._lock:
+            return self._nonfinite
 
     def quantile(self, q: float) -> float:
         """The ``q``-quantile (nearest-rank) of the recent window; 0.0 when
@@ -162,6 +200,7 @@ class Histogram:
             window = sorted(self._window)
             count, total = self._count, self._sum
             lo, hi = self._min, self._max
+            nonfinite = self._nonfinite
         quantiles = {
             f"p{int(q * 100)}": (window[int(q * (len(window) - 1))] if window else 0.0)
             for q in QUANTILES
@@ -172,6 +211,7 @@ class Histogram:
             "min": lo if count else 0.0,
             "max": hi if count else 0.0,
             "mean": total / count if count else 0.0,
+            "nonfinite": nonfinite,
             **quantiles,
         }
         if include_samples:
@@ -271,7 +311,7 @@ class Telemetry:
         for instrument in instruments:
             metric = f"{self.namespace}_{_sanitize(instrument.name)}"
             if instrument.help:
-                lines.append(f"# HELP {metric} {instrument.help}")
+                lines.append(f"# HELP {metric} {escape_help_text(instrument.help)}")
             if isinstance(instrument, Counter):
                 lines.append(f"# TYPE {metric} counter")
                 lines.append(f"{metric} {instrument.value:.10g}")
@@ -283,7 +323,8 @@ class Telemetry:
                 lines.append(f"# TYPE {metric} summary")
                 for q in QUANTILES:
                     value = snap[f"p{int(q * 100)}"]
-                    lines.append(f'{metric}{{quantile="{q:g}"}} {value:.10g}')
+                    label = escape_label_value(f"{q:g}")
+                    lines.append(f'{metric}{{quantile="{label}"}} {value:.10g}')
                 lines.append(f"{metric}_sum {snap['sum']:.10g}")
                 lines.append(f"{metric}_count {snap['count']}")
         return "\n".join(lines) + "\n"

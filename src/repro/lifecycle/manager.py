@@ -48,6 +48,7 @@ class ModelLifecycle:
         canary: CanaryController | CanaryConfig | None = None,
         service_kwargs: dict | None = None,
         warm_top_k: int = 32,
+        recorder=None,
     ) -> None:
         self._tmpdir = None
         if registry is None:
@@ -75,10 +76,20 @@ class ModelLifecycle:
         #: promotion/rollback broadcasts the newly-current registry
         #: checkpoint to them as a staged, cache-warming rollout.
         self._fleets: list = []
+        #: Optional :class:`repro.obs.FlightRecorder`: model-lifecycle
+        #: transitions (bootstrap, canary verdict, promote, reject,
+        #: rollback, drift-flagged) land in its ring as structured events,
+        #: so an incident dump shows *what the fleet was serving and why*
+        #: alongside the raw request events.
+        self.recorder = recorder
         self.environment_features: tuple[float, float, float, float] | None = None
         if self.registry.current is not None:
             predictor, env = self.registry.load()
             self._attach(predictor, env)
+
+    def _record(self, kind: str, name: str = "", **attrs) -> None:
+        if self.recorder is not None:
+            self.recorder.record(kind, name, **attrs)
 
     # -- serving -------------------------------------------------------------
 
@@ -227,6 +238,12 @@ class ModelLifecycle:
             promote=True,
         )
         self._attach(predictor, environment_features)
+        self._record(
+            "lifecycle-bootstrap",
+            "lifecycle",
+            version=entry.version,
+            weights_version=getattr(predictor, "weights_version", None),
+        )
         return entry
 
     def submit_candidate(
@@ -256,6 +273,14 @@ class ModelLifecycle:
             )
             return report, entry
         report = self.canary.evaluate(predictor, self._predictor, self.feedback)
+        self._record(
+            "canary-verdict",
+            "lifecycle",
+            decision=report.decision,
+            candidate_q_error=report.candidate_error,
+            incumbent_q_error=report.incumbent_error,
+            n_holdout=report.n_holdout,
+        )
         all_metrics = dict(metrics or {})
         all_metrics.update(
             {
@@ -277,6 +302,12 @@ class ModelLifecycle:
                 promote=True,
             )
             self._attach(predictor, environment_features)
+            self._record(
+                "lifecycle-promote",
+                "lifecycle",
+                version=entry.version,
+                weights_version=getattr(predictor, "weights_version", None),
+            )
             return report, entry
         self.registry.register(
             predictor,
@@ -285,6 +316,7 @@ class ModelLifecycle:
             metrics=all_metrics,
             promote=False,
         )
+        self._record("lifecycle-reject", "lifecycle", decision=report.decision)
         return report, None
 
     def rollback(self) -> ModelVersion:
@@ -292,6 +324,7 @@ class ModelLifecycle:
         entry = self.registry.rollback()
         predictor, env = self.registry.load(entry.version)
         self._attach(predictor, env)
+        self._record("lifecycle-rollback", "lifecycle", version=entry.version)
         return entry
 
     # -- feedback + drift ----------------------------------------------------
@@ -324,7 +357,16 @@ class ModelLifecycle:
     def check_drift(self) -> DriftReport:
         """Rolling drift statistics over the feedback log; ``retrain=True``
         is the signal to train a candidate and submit it."""
-        return self.drift_monitor.assess(self.feedback)
+        report = self.drift_monitor.assess(self.feedback)
+        if report.retrain:
+            self._record(
+                "drift-flagged",
+                "lifecycle",
+                reasons=list(report.reasons),
+                recent_q_error=report.recent_q_error,
+                baseline_q_error=report.baseline_q_error,
+            )
+        return report
 
     def watch(self, executor):
         """Attach the feedback loop to a warehouse executor: every completed

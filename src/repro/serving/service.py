@@ -59,6 +59,7 @@ from repro.core.encoding import _NEUTRAL_ENV, EncodedPlan
 from repro.nn.tree_conv import TreeBatch
 from repro.serving.cache import EncodingCache, PredictionCache
 from repro.serving.fingerprint import plan_fingerprint, plan_nodes
+from repro.obs.trace import traced_section
 from repro.serving.quantize import quantize_matrix, split_conv_weight
 from repro.warehouse.plan import PhysicalPlan
 
@@ -200,21 +201,22 @@ class _WeightSnapshot:
         gate the quantized pack against the float32 reference pack and fall
         back bitwise to the reference weights if it fails."""
         started = time.perf_counter()
-        reference = self._pack(None, module)
-        self.packed = reference
-        self.quantized_active = False
-        self.gate_rel_err = 0.0
-        self.stored_weight_bytes = sum(
-            w3.nbytes + bias.nbytes for w3, _wflat, bias in reference.conv
-        ) + sum(m.nbytes for m in (reference.fc_w, reference.cost_w, reference.node_w))
-        if self.quantize_mode is not None:
-            quantized, stored_bytes = self._pack(self.quantize_mode, module)
-            ok, rel_err = self._gate(reference, quantized)
-            self.gate_rel_err = rel_err
-            if ok:
-                self.packed = quantized
-                self.quantized_active = True
-                self.stored_weight_bytes = stored_bytes
+        with traced_section("serving.quantize", mode=self.quantize_mode):
+            reference = self._pack(None, module)
+            self.packed = reference
+            self.quantized_active = False
+            self.gate_rel_err = 0.0
+            self.stored_weight_bytes = sum(
+                w3.nbytes + bias.nbytes for w3, _wflat, bias in reference.conv
+            ) + sum(m.nbytes for m in (reference.fc_w, reference.cost_w, reference.node_w))
+            if self.quantize_mode is not None:
+                quantized, stored_bytes = self._pack(self.quantize_mode, module)
+                ok, rel_err = self._gate(reference, quantized)
+                self.gate_rel_err = rel_err
+                if ok:
+                    self.packed = quantized
+                    self.quantized_active = True
+                    self.stored_weight_bytes = stored_bytes
         self.pack_seconds = time.perf_counter() - started
 
     def _pack(self, mode: str | None, module):
@@ -654,11 +656,13 @@ class CostInferenceService:
                 encoded: list[EncodedPlan] | None = None
                 if key not in self._bucket_cache:
                     encode_started = time.perf_counter()
-                    encoded = self._encode_pending(pending_plans, pending_fps)
+                    with traced_section("serving.encode", n_plans=len(pending)):
+                        encoded = self._encode_pending(pending_plans, pending_fps)
                     self._encode_seconds += time.perf_counter() - encode_started
-                batch_out = self._forward_bucket(
-                    key, encoded, pending_plans, pending_fps, env_key, snapshot
-                )
+                with traced_section("serving.forward", n_plans=len(pending)):
+                    batch_out = self._forward_bucket(
+                        key, encoded, pending_plans, pending_fps, env_key, snapshot
+                    )
                 out[pending] = batch_out
                 if use_pred_cache:
                     put = self.prediction_cache.put
@@ -673,24 +677,28 @@ class CostInferenceService:
                 encoded = None
                 if any(k not in self._bucket_cache for k in keys):
                     encode_started = time.perf_counter()
-                    encoded = self._encode_pending(pending_plans, pending_fps)
+                    with traced_section("serving.encode", n_plans=len(pending)):
+                        encoded = self._encode_pending(pending_plans, pending_fps)
                     self._encode_seconds += time.perf_counter() - encode_started
-                for (padded, members), key in zip(buckets, keys):
-                    batch_out = self._forward_bucket(
-                        key,
-                        None if encoded is None else [encoded[m] for m in members],
-                        [pending_plans[m] for m in members],
-                        [pending_fps[m] for m in members],
-                        env_key,
-                        snapshot,
-                    )
-                    for m, value in zip(members, batch_out):
-                        i = pending[m]
-                        out[i] = value
-                        if use_pred_cache:
-                            self.prediction_cache.put(
-                                (fingerprints[i], env_key), float(value)
-                            )
+                with traced_section(
+                    "serving.forward", n_plans=len(pending), n_buckets=len(buckets)
+                ):
+                    for (padded, members), key in zip(buckets, keys):
+                        batch_out = self._forward_bucket(
+                            key,
+                            None if encoded is None else [encoded[m] for m in members],
+                            [pending_plans[m] for m in members],
+                            [pending_fps[m] for m in members],
+                            env_key,
+                            snapshot,
+                        )
+                        for m, value in zip(members, batch_out):
+                            i = pending[m]
+                            out[i] = value
+                            if use_pred_cache:
+                                self.prediction_cache.put(
+                                    (fingerprints[i], env_key), float(value)
+                                )
 
         elapsed = time.perf_counter() - started
         self._request_count += 1
@@ -761,13 +769,15 @@ class CostInferenceService:
             encoded: list[EncodedPlan] | None = None
             if key not in self._bucket_cache:
                 encode_started = time.perf_counter()
-                encoded = self._encode_pending(list(plans), fingerprints)
+                with traced_section("serving.encode", n_plans=n_plans):
+                    encoded = self._encode_pending(list(plans), fingerprints)
                 self._encode_seconds += time.perf_counter() - encode_started
             # Recompute the full sweep even on partial hits: the serving-
             # dtype z snap keeps recomputed values within float32 round-off
             # of cached ones (and the put below re-caches the sweep's), and
             # one batched forward beats per-miss bookkeeping at sweep sizes.
-            values = self._forward_sweep(key, encoded, envs, snapshot)
+            with traced_section("serving.forward", n_plans=n_plans, n_envs=len(envs)):
+                values = self._forward_sweep(key, encoded, envs, snapshot)
             out[:] = values
             if use_pred_cache:
                 put = self.prediction_cache.put

@@ -346,7 +346,7 @@ class ServiceTarget:
     def __init__(self, service) -> None:
         self.service = service
 
-    def predict(self, candidate_set: CandidateSet, request: Request, deadline_ms):
+    def predict(self, candidate_set: CandidateSet, request: Request, deadline_ms, trace=None):
         from repro.gateway import GatewayResult
 
         started = time.monotonic()
@@ -375,11 +375,12 @@ class GatewayTarget:
     def __init__(self, gateway) -> None:
         self.gateway = gateway
 
-    def predict(self, candidate_set: CandidateSet, request: Request, deadline_ms):
+    def predict(self, candidate_set: CandidateSet, request: Request, deadline_ms, trace=None):
         return self.gateway.predict(
             list(candidate_set.plans),
             env_features=request.env,
             deadline_ms=deadline_ms,
+            trace=trace,
         )
 
     def stats(self) -> dict:
@@ -398,13 +399,14 @@ class FleetTarget:
     def __init__(self, fleet) -> None:
         self.fleet = fleet
 
-    def predict(self, candidate_set: CandidateSet, request: Request, deadline_ms):
+    def predict(self, candidate_set: CandidateSet, request: Request, deadline_ms, trace=None):
         return self.fleet.predict(
             request.tenant,
             list(candidate_set.plans),
             env_features=request.env,
             deadline_ms=deadline_ms,
             plans_key=candidate_set.key,
+            trace=trace,
         )
 
     def stats(self) -> dict:
@@ -588,11 +590,20 @@ class ReplayEngine:
         lifecycle=None,
         config: ReplayConfig | None = None,
         clock: VirtualClock | None = None,
+        tracer=None,
     ) -> None:
         self.runtime = runtime
         self.lifecycle = lifecycle
         self.config = config or ReplayConfig()
         self.clock = clock or VirtualClock()
+        #: Optional :class:`repro.obs.Tracer`: every fired request gets a
+        #: ``replay.request`` root span whose context rides ``trace=`` into
+        #: the target (gateway and fleet targets join it; the bare service
+        #: target ignores it).  Under a *seeded* tracer in logical mode the
+        #: request order is deterministic, so trace/span ids are too —
+        #: replaying twice yields identical ids, and a trace id from a
+        #: previous run can be looked up again.
+        self.tracer = tracer
         self._lifecycle_lock = threading.Lock()
 
     # -- public API ------------------------------------------------------------
@@ -677,9 +688,33 @@ class ReplayEngine:
 
     def _fire(self, request, pools, target, segments, state, *, seg_lock=None):
         candidate_set = pools[request.family][request.pool_index]
+        span = None
+        trace = None
+        if self.tracer is not None:
+            span = self.tracer.start_trace(
+                "replay.request",
+                attrs={
+                    "family": request.family,
+                    "tenant": request.tenant,
+                    "segment": request.segment,
+                    "index": request.index,
+                },
+            )
+            trace = span.context if span.sampled else None
         t0 = time.perf_counter()
-        result = target.predict(candidate_set, request, self.config.deadline_ms)
+        try:
+            result = target.predict(
+                candidate_set, request, self.config.deadline_ms, trace=trace
+            )
+        except BaseException:
+            if span is not None:
+                span.set_attr("error", True)
+                span.finish()
+            raise
         latency = time.perf_counter() - t0
+        if span is not None:
+            span.set_attrs(source=result.source, reason=result.reason)
+            span.finish()
         chosen = int(np.argmin(np.asarray(result.costs)))
         true = candidate_set.true_costs
         benefit = float(

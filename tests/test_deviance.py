@@ -135,8 +135,11 @@ class TestTheorem1:
         estimator = DevianceEstimator(n_samples=4, n_grid=512)
         report = estimator.report(dists)
         best = report.best_achievable_deviance
+        # Any fixed selection is >= M_b analytically; both sides here carry
+        # n_grid=512 quadrature error (~1e-5 relative), so the bound gets a
+        # matching relative slack.
         for deviance in report.per_plan_deviance:
-            assert deviance >= best - 1e-6  # any fixed selection is >= M_b
+            assert deviance >= best - max(1e-6, 1e-4 * best)
 
     def test_oracle_deviance_is_zero_by_construction(self):
         # The oracle tracks min per environment; its deviance is identically 0

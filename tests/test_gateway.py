@@ -170,7 +170,7 @@ class TestTelemetry:
         snap = h.snapshot()
         assert snap == {
             "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
-            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0, "nonfinite": 0,
         }
         h.observe(2.0)
         h.observe(4.0)
